@@ -1,0 +1,361 @@
+(* rdfqa: command-line front-end to the library.
+
+   Subcommands:
+     generate     produce an N-Triples dataset (LUBM- or DBLP-style)
+     query        answer a SPARQL BGP query under a chosen strategy
+     reformulate  print the CQ->UCQ reformulation of a query
+     explain      list the query's covers with their estimated costs
+     sql          print the SQL a JUCQ reformulation ships to an RDBMS *)
+
+open Cmdliner
+
+let now_ms () = Unix.gettimeofday () *. 1000.0
+
+(* ---------- shared arguments ---------- *)
+
+let data_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "d"; "data" ] ~docv:"FILE"
+        ~doc:
+          "Data file, N-Triples or Turtle by extension (RDFS constraint \
+           triples become the schema).")
+
+let query_string_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "q"; "query" ] ~docv:"SPARQL"
+        ~doc:"A SPARQL BGP query, e.g. 'SELECT ?x WHERE { ?x a ?y }'.")
+
+let query_file_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "query-file" ] ~docv:"FILE" ~doc:"Read the SPARQL query from a file.")
+
+let workload_query_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "workload-query" ] ~docv:"NAME"
+        ~doc:
+          "Use a built-in evaluation query, e.g. lubm:Q01 or dblp:Q10 \
+           (implies the corresponding schema).")
+
+let strategy_arg =
+  let strategy_conv =
+    Arg.enum
+      [
+        ("saturation", `Saturation);
+        ("ucq", `Ucq);
+        ("scq", `Scq);
+        ("ecov", `Ecov);
+        ("gcov", `Gcov);
+      ]
+  in
+  Arg.(
+    value & opt strategy_conv `Gcov
+    & info [ "s"; "strategy" ] ~docv:"STRATEGY"
+        ~doc:"One of saturation, ucq, scq, ecov, gcov (default gcov).")
+
+let engine_arg =
+  let engine_conv =
+    Arg.enum
+      [
+        ("postgres", Engine.Profile.postgres_like);
+        ("db2", Engine.Profile.db2_like);
+        ("mysql", Engine.Profile.mysql_like);
+        ("virtuoso", Engine.Profile.virtuoso_like);
+      ]
+  in
+  Arg.(
+    value & opt engine_conv Engine.Profile.postgres_like
+    & info [ "e"; "engine" ] ~docv:"ENGINE"
+        ~doc:"Engine profile: postgres, db2, mysql or virtuoso.")
+
+let to_strategy = function
+  | `Saturation -> Rqa.Answering.Saturation
+  | `Ucq -> Rqa.Answering.Ucq
+  | `Scq -> Rqa.Answering.Scq
+  | `Ecov -> Rqa.Answering.Ecov Rqa.Cover_space.default_budget
+  | `Gcov -> Rqa.Answering.Gcov
+
+let read_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* Resolve the query and, for workload queries, the implied schema. *)
+let resolve_query workload_query query_string query_file =
+  match (workload_query, query_string, query_file) with
+  | Some wq, _, _ -> (
+      match String.split_on_char ':' wq with
+      | [ "lubm"; name ] -> Ok (Workloads.Lubm.query name, Some Workloads.Lubm.schema)
+      | [ "dblp"; name ] -> Ok (Workloads.Dblp.query name, Some Workloads.Dblp.schema)
+      | _ -> Error ("bad workload query (want lubm:QNN or dblp:QNN): " ^ wq))
+  | None, Some s, _ -> Ok (Query.Sparql.parse s, None)
+  | None, None, Some f -> Ok (Query.Sparql.parse (read_file f), None)
+  | None, None, None -> Error "one of --query, --query-file, --workload-query required"
+
+let load_store ?schema path =
+  let g =
+    if Filename.check_suffix path ".ttl" then Rdf.Turtle.load_file path
+    else Rdf.Ntriples.load_file path
+  in
+  match schema with
+  | None -> Store.Encoded_store.of_graph g
+  | Some s ->
+      (* workload queries come with their intended schema *)
+      Store.Encoded_store.of_graph
+        (Rdf.Graph.make s (Rdf.Graph.fact_list g))
+
+(* ---------- generate ---------- *)
+
+let generate_cmd =
+  let workload =
+    Arg.(
+      value
+      & opt (enum [ ("lubm", `Lubm); ("dblp", `Dblp) ]) `Lubm
+      & info [ "w"; "workload" ] ~docv:"WORKLOAD" ~doc:"lubm or dblp.")
+  in
+  let scale =
+    Arg.(
+      value & opt int 2
+      & info [ "n"; "scale" ] ~docv:"N"
+          ~doc:"Universities (lubm) or publications (dblp).")
+  in
+  let out =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Output N-Triples file.")
+  in
+  let run workload scale out =
+    let g =
+      match workload with
+      | `Lubm -> Workloads.Lubm.generate_graph { Workloads.Lubm.universities = scale }
+      | `Dblp -> Workloads.Dblp.generate_graph { Workloads.Dblp.publications = scale }
+    in
+    (if Filename.check_suffix out ".ttl" then Rdf.Turtle.save_file out g
+     else Rdf.Ntriples.save_file out g);
+    Printf.printf "wrote %d facts (+%d schema constraints) to %s\n"
+      (Rdf.Graph.size g)
+      (Rdf.Schema.size (Rdf.Graph.schema g))
+      out
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a synthetic dataset.")
+    Term.(const run $ workload $ scale $ out)
+
+(* ---------- query ---------- *)
+
+let query_cmd =
+  let show_cover =
+    Arg.(value & flag & info [ "show-cover" ] ~doc:"Print the chosen cover.")
+  in
+  let limit =
+    Arg.(
+      value & opt int 20
+      & info [ "limit" ] ~docv:"N" ~doc:"Print at most N answer rows.")
+  in
+  let run data wq qs qf strategy profile show_cover limit =
+    match resolve_query wq qs qf with
+    | Error msg -> prerr_endline msg; exit 2
+    | Ok (q, schema) -> (
+        let store = load_store ?schema data in
+        let sys = Rqa.Answering.make ~profile store in
+        let strategy = to_strategy strategy in
+        let t0 = now_ms () in
+        match Rqa.Answering.answer sys strategy q with
+        | report ->
+            let total = now_ms () -. t0 in
+            let ex =
+              match strategy with
+              | Rqa.Answering.Saturation -> Rqa.Answering.saturated_engine sys
+              | _ -> Rqa.Answering.engine sys
+            in
+            let rows = Engine.Executor.decode ex report.Rqa.Answering.answers in
+            List.iteri
+              (fun i row ->
+                if i < limit then
+                  print_endline
+                    (String.concat "\t" (List.map Rdf.Term.to_string row)))
+              rows;
+            Printf.printf
+              "-- %d rows (%s, %s); %d union terms; planning %.1f ms, \
+               execution %.1f ms, total %.1f ms\n"
+              (List.length rows)
+              (Rqa.Answering.strategy_name strategy)
+              profile.Engine.Profile.name report.Rqa.Answering.union_terms
+              report.Rqa.Answering.planning_ms
+              report.Rqa.Answering.execution_ms total;
+            (match (show_cover, report.Rqa.Answering.cover) with
+            | true, Some cover ->
+                Printf.printf "-- cover: %s\n" (Query.Jucq.cover_to_string cover)
+            | _ -> ())
+        | exception Engine.Profile.Engine_failure { engine; reason } ->
+            Printf.printf "ENGINE FAILURE (%s): %s\n" engine
+              (Engine.Profile.failure_to_string reason);
+            exit 1)
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Answer a SPARQL BGP query.")
+    Term.(
+      const run $ data_arg $ workload_query_arg $ query_string_arg
+      $ query_file_arg $ strategy_arg $ engine_arg $ show_cover $ limit)
+
+(* ---------- reformulate ---------- *)
+
+let reformulate_cmd =
+  let limit =
+    Arg.(
+      value & opt int 25
+      & info [ "limit" ] ~docv:"N" ~doc:"Print at most N union terms.")
+  in
+  let minimize =
+    Arg.(
+      value & flag
+      & info [ "minimize" ]
+          ~doc:
+            "Remove containment-redundant union terms (the reformulation \
+             keeps them by default, as the literature does).")
+  in
+  let run data wq qs qf limit minimize =
+    match resolve_query wq qs qf with
+    | Error msg -> prerr_endline msg; exit 2
+    | Ok (q, schema) -> (
+        let store = load_store ?schema data in
+        let r =
+          Reformulation.Reformulate.create (Store.Encoded_store.schema store)
+        in
+        match Reformulation.Reformulate.reformulate r q with
+        | ucq ->
+            let ucq = if minimize then Query.Containment.minimize ucq else ucq in
+            let disjuncts = Query.Ucq.disjuncts ucq in
+            List.iteri
+              (fun i cq ->
+                if i < limit then
+                  Printf.printf "(%d) %s\n" i (Query.Bgp.to_string cq))
+              disjuncts;
+            Printf.printf "-- %d union terms\n" (List.length disjuncts)
+        | exception Reformulation.Reformulate.Too_large { bound; limit } ->
+            Printf.printf
+              "reformulation too large to build: ~%d terms (cap %d)\n" bound
+              limit)
+  in
+  Cmd.v
+    (Cmd.info "reformulate" ~doc:"Print the CQ->UCQ reformulation.")
+    Term.(
+      const run $ data_arg $ workload_query_arg $ query_string_arg
+      $ query_file_arg $ limit $ minimize)
+
+(* ---------- explain ---------- *)
+
+let explain_cmd =
+  let show_plan =
+    Arg.(
+      value & flag
+      & info [ "plan" ]
+          ~doc:"Also print the physical plan of the GCov-chosen JUCQ.")
+  in
+  let run data wq qs qf profile show_plan =
+    match resolve_query wq qs qf with
+    | Error msg -> prerr_endline msg; exit 2
+    | Ok (q, schema) ->
+        let store = load_store ?schema data in
+        let sys = Rqa.Answering.make ~profile store in
+        let obj = Rqa.Answering.objective sys q in
+        let { Rqa.Cover_space.covers; complete } =
+          Rqa.Cover_space.enumerate q
+        in
+        Printf.printf "%-30s %16s %14s\n" "cover" "#reformulations"
+          "est. cost";
+        List.iter
+          (fun cover ->
+            let cost = Rqa.Objective.cover_cost obj cover in
+            let terms =
+              try Query.Jucq.total_disjuncts (Rqa.Objective.jucq_of obj cover)
+              with Reformulation.Reformulate.Too_large { bound; _ } -> bound
+            in
+            Printf.printf "%-30s %16d %14.3f\n"
+              (Query.Jucq.cover_to_string cover)
+              terms cost)
+          covers;
+        if not complete then print_endline "-- cover space truncated";
+        let g = Rqa.Gcov.search (Rqa.Answering.objective sys q) in
+        Printf.printf "-- GCov picks %s (est. cost %.3f, %d covers explored)\n"
+          (Query.Jucq.cover_to_string g.Rqa.Gcov.cover)
+          g.Rqa.Gcov.cost g.Rqa.Gcov.explored;
+        if show_plan then begin
+          let reformulate cq =
+            Reformulation.Reformulate.reformulate
+              (Rqa.Answering.reformulator sys) cq
+          in
+          let j = Query.Jucq.make ~reformulate q g.Rqa.Gcov.cover in
+          print_newline ();
+          print_string
+            (Engine.Plan.to_string
+               (Engine.Plan.describe (Rqa.Answering.engine sys) j))
+        end
+  in
+  Cmd.v
+    (Cmd.info "explain" ~doc:"List covers with estimated costs.")
+    Term.(
+      const run $ data_arg $ workload_query_arg $ query_string_arg
+      $ query_file_arg $ engine_arg $ show_plan)
+
+(* ---------- sql ---------- *)
+
+let sql_cmd =
+  let cover_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cover" ] ~docv:"COVER"
+          ~doc:
+            "Cover as semicolon-separated fragments of comma-separated \
+             1-based atom indexes, e.g. '1,3;2'.  Default: the GCov choice.")
+  in
+  let run data wq qs qf profile cover_spec =
+    match resolve_query wq qs qf with
+    | Error msg -> prerr_endline msg; exit 2
+    | Ok (q, schema) ->
+        let store = load_store ?schema data in
+        let sys = Rqa.Answering.make ~profile store in
+        let cover =
+          match cover_spec with
+          | Some spec ->
+              List.map
+                (fun frag ->
+                  List.map
+                    (fun i -> int_of_string (String.trim i) - 1)
+                    (String.split_on_char ',' frag))
+                (String.split_on_char ';' spec)
+          | None -> (Rqa.Gcov.search (Rqa.Answering.objective sys q)).Rqa.Gcov.cover
+        in
+        let reformulate cq =
+          Reformulation.Reformulate.reformulate (Rqa.Answering.reformulator sys) cq
+        in
+        let j = Query.Jucq.make ~reformulate q cover in
+        print_endline (Engine.Sql.jucq store j)
+  in
+  Cmd.v
+    (Cmd.info "sql" ~doc:"Print the SQL for a (GCov-chosen) JUCQ reformulation.")
+    Term.(
+      const run $ data_arg $ workload_query_arg $ query_string_arg
+      $ query_file_arg $ engine_arg $ cover_arg)
+
+let () =
+  let info =
+    Cmd.info "rdfqa" ~version:"1.0"
+      ~doc:"Reformulation-based RDF query answering with cost-based JUCQ \
+            optimization."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ generate_cmd; query_cmd; reformulate_cmd; explain_cmd; sql_cmd ]))

@@ -1,0 +1,1 @@
+examples/bibliography.ml: Bgp Engine Jucq List Printf Query Reformulation Rqa Store String Unix Workloads

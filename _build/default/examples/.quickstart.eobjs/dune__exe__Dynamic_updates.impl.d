@@ -1,0 +1,1 @@
+examples/dynamic_updates.ml: Bgp Engine List Printf Query Rdf Rqa Store Unix Workloads

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bgp List Printf Query Rdf Reformulation Rqa Sparql String Ucq

@@ -1,0 +1,1 @@
+examples/university_analytics.ml: Bgp Engine Jucq List Printf Query Reformulation Rqa Store Unix Workloads

@@ -1,0 +1,70 @@
+(* Dynamic updates: why reformulation-based answering suits changing data.
+
+   Saturation answers fast but must maintain derived triples on every
+   update; reformulation leaves the database untouched and adapts for
+   free.  This example streams inserts into a university store, answering
+   the same query after each batch through (i) a saturation engine that
+   must re-derive, and (ii) the GCov reformulation engine that just
+   queries.  Both always agree; the trade-off is visible in the running
+   times (Section 5.3 context).
+
+   Run with:  dune exec examples/dynamic_updates.exe *)
+
+open Query
+
+let now_ms () = Unix.gettimeofday () *. 1000.0
+
+let () =
+  let scale = { Workloads.Lubm.universities = 3 } in
+  let base = Workloads.Lubm.generate_graph scale in
+  Printf.printf "base graph: %d facts\n\n" (Rdf.Graph.size base);
+  let q = Workloads.Lubm.query "Q11" in
+  Printf.printf "query: %s\n\n" (Bgp.to_string q);
+  let ub p = Rdf.Term.uri (Workloads.Lubm.ns ^ p) in
+  (* batches of new hires: each entails several implicit triples *)
+  let batch i =
+    let person =
+      Rdf.Term.uri (Printf.sprintf "http://example.org/newhire%d" i)
+    in
+    [
+      Rdf.Triple.make person Rdf.Vocab.rdf_type (ub "AssistantProfessor");
+      Rdf.Triple.make person (ub "worksFor")
+        (Rdf.Term.uri "http://www.Department0.University0.edu");
+      Rdf.Triple.make person (ub "doctoralDegreeFrom")
+        (Workloads.Lubm.university 1);
+    ]
+  in
+  let graph = ref base in
+  let saturated = ref (Rdf.Saturation.saturate base) in
+  Printf.printf "%-8s %14s %20s %16s %8s\n" "batch" "sat-maint(ms)"
+    "sat-answer rows(ms)" "reform rows(ms)" "agree";
+  for i = 1 to 5 do
+    let delta = batch i in
+    graph := List.fold_left (fun g t -> Rdf.Graph.add_fact t g) !graph delta;
+    (* saturation-based: maintain the closure incrementally, then query *)
+    let t0 = now_ms () in
+    saturated := Rdf.Saturation.saturate_incremental !saturated delta;
+    let maintain_ms = now_ms () -. t0 in
+    let sat_store = Store.Encoded_store.of_graph !saturated in
+    let sat_ex = Engine.Executor.create sat_store in
+    let t1 = now_ms () in
+    let sat_rows = Engine.Executor.eval_cq sat_ex q in
+    let sat_ms = now_ms () -. t1 in
+    (* reformulation-based: reload the raw facts and just query *)
+    let sys = Rqa.Answering.of_graph !graph in
+    let t2 = now_ms () in
+    let report = Rqa.Answering.answer sys Rqa.Answering.Gcov q in
+    let ref_ms = now_ms () -. t2 in
+    let sat_terms = Engine.Executor.decode sat_ex sat_rows in
+    let ref_terms =
+      Engine.Executor.decode (Rqa.Answering.engine sys)
+        report.Rqa.Answering.answers
+    in
+    Printf.printf "%-8d %14.1f %11d (%6.1f) %7d (%6.1f) %8b\n" i maintain_ms
+      (List.length sat_terms) sat_ms
+      (List.length ref_terms) ref_ms
+      (sat_terms = ref_terms)
+  done;
+  print_endline
+    "\nreformulation needs no maintenance step: the same (non-saturated)\n\
+     store answers correctly right after every update."

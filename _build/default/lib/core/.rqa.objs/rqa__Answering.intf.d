@@ -1,0 +1,1 @@
+lib/core/answering.mli: Cost_model Cover_space Engine Objective Query Rdf Reformulation Store

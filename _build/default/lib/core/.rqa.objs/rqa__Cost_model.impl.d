@@ -1,0 +1,1 @@
+lib/core/cost_model.ml: Bgp Engine Jucq List Query Rdf Store Sys Ucq

@@ -1,0 +1,1 @@
+lib/core/cover_space.ml: Array Bgp Hashtbl Jucq List Query Result String Sys

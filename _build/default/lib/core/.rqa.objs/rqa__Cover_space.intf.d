@@ -1,0 +1,1 @@
+lib/core/cover_space.mli: Query

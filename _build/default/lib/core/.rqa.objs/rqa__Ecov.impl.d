@@ -1,0 +1,1 @@
+lib/core/ecov.ml: Cover_space Jucq List Objective Query Sys

@@ -1,0 +1,1 @@
+lib/core/ecov.mli: Cover_space Objective Query

@@ -1,0 +1,1 @@
+lib/core/gcov.ml: Array Bgp Float Fun Hashtbl Int Jucq List Objective Query Set String Sys

@@ -1,0 +1,1 @@
+lib/core/gcov.mli: Objective Query

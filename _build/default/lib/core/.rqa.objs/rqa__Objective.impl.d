@@ -1,0 +1,1 @@
+lib/core/objective.ml: Bgp Hashtbl Jucq List Query Reformulation String Ucq

@@ -1,0 +1,180 @@
+open Query
+
+type strategy =
+  | Saturation
+  | Ucq
+  | Scq
+  | Ecov of Cover_space.budget
+  | Gcov
+
+let strategy_name = function
+  | Saturation -> "Saturation"
+  | Ucq -> "UCQ"
+  | Scq -> "SCQ"
+  | Ecov _ -> "ECov"
+  | Gcov -> "GCov"
+
+type cost_oracle = Paper_model | Engine_model
+
+type system = {
+  engine : Engine.Executor.t;
+  saturated : Engine.Executor.t Lazy.t;
+  reformulator : Reformulation.Reformulate.t;
+  cost : Cost_model.t;
+  oracle : cost_oracle;
+}
+
+let make ?(profile = Engine.Profile.postgres_like) ?(calibrate = false)
+    ?(cost_oracle = Paper_model) ?reformulator store =
+  let engine = Engine.Executor.create ~profile store in
+  let coefficients =
+    if calibrate then Cost_model.calibrate engine
+    else Cost_model.coefficients_of_profile profile
+  in
+  {
+    engine;
+    saturated =
+      lazy
+        (Engine.Executor.create ~profile (Store.Encoded_store.saturate store));
+    reformulator =
+      (match reformulator with
+      | Some r -> r
+      | None ->
+          Reformulation.Reformulate.create (Store.Encoded_store.schema store));
+    cost =
+      Cost_model.create ~coefficients (Engine.Executor.statistics engine);
+    oracle = cost_oracle;
+  }
+
+let of_graph ?profile ?calibrate ?cost_oracle g =
+  make ?profile ?calibrate ?cost_oracle (Store.Encoded_store.of_graph g)
+
+let engine s = s.engine
+let saturated_engine s = Lazy.force s.saturated
+let reformulator s = s.reformulator
+let cost_model s = s.cost
+
+let objective s q =
+  let reformulate cq = Reformulation.Reformulate.reformulate s.reformulator cq in
+  let jucq_cost =
+    match s.oracle with
+    | Paper_model -> Cost_model.jucq_cost s.cost
+    | Engine_model -> Engine.Executor.explain_cost s.engine
+  in
+  let capacity =
+    (Engine.Executor.profile s.engine).Engine.Profile.max_union_terms
+  in
+  let fragment_capacity cq =
+    Reformulation.Reformulate.count_product_bound s.reformulator cq
+    <= capacity
+  in
+  Objective.create ~fragment_capacity ~reformulate ~jucq_cost
+    ~ucq_cost:(Cost_model.ucq_cost s.cost)
+    q
+
+type report = {
+  answers : Engine.Relation.t;
+  strategy : strategy;
+  cover : Jucq.cover option;
+  union_terms : int;
+  estimated_cost : float;
+  covers_explored : int;
+  planning_ms : float;
+  execution_ms : float;
+}
+
+let now_ms () = Sys.time () *. 1000.0
+
+let run_cover s strategy q cover ~covers_explored ~planning_start =
+  let obj_free_reformulate cq =
+    Reformulation.Reformulate.reformulate s.reformulator cq
+  in
+  let profile = Engine.Executor.profile s.engine in
+  let refuse terms =
+    (* The statement is refused before execution, like an RDBMS rejecting
+       an oversized union — no point building millions of union terms the
+       engine will not accept. *)
+    raise
+      (Engine.Profile.Engine_failure
+         {
+           engine = profile.Engine.Profile.name;
+           reason =
+             Engine.Profile.Union_capacity
+               { terms; limit = profile.Engine.Profile.max_union_terms };
+         })
+  in
+  List.iter
+    (fun f ->
+      let cqf = Jucq.cover_query q cover f in
+      let bound =
+        Reformulation.Reformulate.count_product_bound s.reformulator cqf
+      in
+      if bound > profile.Engine.Profile.max_union_terms then refuse bound)
+    cover;
+  let jucq =
+    try Jucq.make ~reformulate:obj_free_reformulate q cover
+    with Reformulation.Reformulate.Too_large { bound; _ } -> refuse bound
+  in
+  let estimated_cost =
+    match s.oracle with
+    | Paper_model -> Cost_model.jucq_cost s.cost jucq
+    | Engine_model -> Engine.Executor.explain_cost s.engine jucq
+  in
+  let planning_ms = now_ms () -. planning_start in
+  let exec_start = now_ms () in
+  let answers = Engine.Executor.eval_jucq s.engine jucq in
+  {
+    answers;
+    strategy;
+    cover = Some cover;
+    union_terms = Jucq.total_disjuncts jucq;
+    estimated_cost;
+    covers_explored;
+    planning_ms;
+    execution_ms = now_ms () -. exec_start;
+  }
+
+let answer s strategy q =
+  let q = Bgp.normalize q in
+  match strategy with
+  | Saturation ->
+      let planning_start = now_ms () in
+      let ex = saturated_engine s in
+      let planning_ms = now_ms () -. planning_start in
+      let exec_start = now_ms () in
+      let answers = Engine.Executor.eval_cq ex q in
+      {
+        answers;
+        strategy;
+        cover = None;
+        union_terms = 1;
+        estimated_cost = 0.0;
+        covers_explored = 0;
+        planning_ms;
+        execution_ms = now_ms () -. exec_start;
+      }
+  | Ucq ->
+      let planning_start = now_ms () in
+      run_cover s strategy q (Jucq.ucq_cover q) ~covers_explored:0
+        ~planning_start
+  | Scq ->
+      let planning_start = now_ms () in
+      run_cover s strategy q (Jucq.scq_cover q) ~covers_explored:0
+        ~planning_start
+  | Ecov budget ->
+      let planning_start = now_ms () in
+      let result = Ecov.search ~budget (objective s q) in
+      run_cover s strategy q result.Ecov.cover
+        ~covers_explored:result.Ecov.explored ~planning_start
+  | Gcov ->
+      let planning_start = now_ms () in
+      let result = Gcov.search (objective s q) in
+      run_cover s strategy q result.Gcov.cover
+        ~covers_explored:result.Gcov.explored ~planning_start
+
+let answer_terms s strategy q =
+  let report = answer s strategy q in
+  let ex =
+    match strategy with Saturation -> saturated_engine s | _ -> s.engine
+  in
+  Engine.Executor.decode ex report.answers

@@ -1,0 +1,91 @@
+(** End-to-end query answering: the strategies compared throughout the
+    paper's evaluation (Section 5), over one store and engine profile.
+
+    - {b Saturation}: pre-saturate the database, evaluate the plain CQ
+      (the baseline of Figure 10);
+    - {b Ucq}: the state-of-the-art flat CQ→UCQ reformulation;
+    - {b Scq}: the semi-conjunctive reformulation of [13] (one-triple
+      fragments);
+    - {b Ecov}/{b Gcov}: the cover-based JUCQ reformulations selected by
+      the exhaustive, resp. greedy, cost-driven search of Section 4.
+
+    A {!system} bundles the raw store, its lazily saturated twin, the
+    reformulation engine, statistics and cost model; {!answer} runs a
+    query under a strategy and reports the answers plus the planning
+    metadata (chosen cover, reformulation sizes, algorithm effort) that
+    the benchmark harness turns into the paper's tables and figures. *)
+
+type strategy =
+  | Saturation
+  | Ucq
+  | Scq
+  | Ecov of Cover_space.budget
+  | Gcov
+
+val strategy_name : strategy -> string
+(** Short display name ("UCQ", "GCov", …). *)
+
+type cost_oracle =
+  | Paper_model   (** the Section 4.1 analytic model (calibrated) *)
+  | Engine_model  (** the engine's internal estimate ({!Engine.Executor.explain_cost}) *)
+
+type system
+
+val make :
+  ?profile:Engine.Profile.t ->
+  ?calibrate:bool ->
+  ?cost_oracle:cost_oracle ->
+  ?reformulator:Reformulation.Reformulate.t ->
+  Store.Encoded_store.t ->
+  system
+(** A query-answering system over a loaded store.  [calibrate] (default
+    [false]) learns the cost coefficients by probing the engine; otherwise
+    the profile defaults apply.  [cost_oracle] picks the cost function
+    guiding ECov/GCov (default {!Paper_model}; Figure 9 compares both).
+    [reformulator] lets several systems over the same schema share one
+    reformulation cache (the benchmark harness runs three engine profiles
+    against one store). *)
+
+val of_graph :
+  ?profile:Engine.Profile.t ->
+  ?calibrate:bool ->
+  ?cost_oracle:cost_oracle ->
+  Rdf.Graph.t ->
+  system
+(** Convenience: loads the graph into a store first. *)
+
+val engine : system -> Engine.Executor.t
+(** The engine over the raw (non-saturated) store. *)
+
+val saturated_engine : system -> Engine.Executor.t
+(** The engine over the saturated store (forced on first use). *)
+
+val reformulator : system -> Reformulation.Reformulate.t
+(** The shared CQ→UCQ reformulation engine. *)
+
+val cost_model : system -> Cost_model.t
+(** The calibrated Section 4.1 cost model. *)
+
+val objective : system -> Query.Bgp.t -> Objective.t
+(** A fresh search objective for a query, wired to the system's
+    reformulator and selected cost oracle. *)
+
+type report = {
+  answers : Engine.Relation.t;   (** the (deduplicated) answer relation *)
+  strategy : strategy;
+  cover : Query.Jucq.cover option;      (** cover used (reformulation strategies) *)
+  union_terms : int;             (** total CQs across fragments ([|q_ref|]-like) *)
+  estimated_cost : float;        (** cost the oracle assigned to the plan run *)
+  covers_explored : int;         (** ECov/GCov search effort *)
+  planning_ms : float;           (** reformulation + search time *)
+  execution_ms : float;          (** engine evaluation time *)
+}
+
+val answer : system -> strategy -> Query.Bgp.t -> report
+(** Answers the query under a strategy.
+    @raise Engine.Profile.Engine_failure when the engine profile's limits
+    are hit (the missing bars of Figures 4-6). *)
+
+val answer_terms : system -> strategy -> Query.Bgp.t -> Rdf.Term.t list list
+(** Decoded, sorted answers — the test-facing surface.  All strategies
+    agree with [Query.Bgp.answer] (the naive specification). *)

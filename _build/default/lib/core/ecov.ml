@@ -1,0 +1,54 @@
+open Query
+
+type result = {
+  cover : Jucq.cover;
+  cost : float;
+  explored : int;
+  complete : bool;
+  elapsed_ms : float;
+}
+
+let search ?(budget = Cover_space.default_budget) (obj : Objective.t) =
+  let t0 = Sys.time () in
+  let q = Objective.query obj in
+  let { Cover_space.covers; complete } = Cover_space.enumerate ~budget q in
+  (* Costing a cover means reformulating its fragments, which dominates on
+     large-reformulation queries: the time budget applies here too. *)
+  let timed_out = ref false in
+  let within_budget () =
+    let ok = (Sys.time () -. t0) *. 1000.0 <= budget.Cover_space.max_millis in
+    if not ok then timed_out := true;
+    ok
+  in
+  let best =
+    List.fold_left
+      (fun best cover ->
+        if not (within_budget ()) then best
+        else
+          let cost = Objective.cover_cost obj cover in
+          match best with
+          | Some (_, c) when c <= cost -> best
+          | _ -> Some (cover, cost))
+      None covers
+  in
+  let complete = complete && not !timed_out in
+  match best with
+  | None ->
+      (* Enumeration found nothing within budget: fall back to the flat
+         UCQ cover, which is always valid for connected queries. *)
+      let cover = Jucq.ucq_cover q in
+      {
+        cover;
+        cost = Objective.cover_cost obj cover;
+        explored = Objective.explored obj;
+        complete = false;
+        elapsed_ms = (Sys.time () -. t0) *. 1000.0;
+      }
+  | Some (cover, cost) ->
+      {
+        cover;
+        cost;
+        explored = Objective.explored obj;
+        complete;
+        elapsed_ms = (Sys.time () -. t0) *. 1000.0;
+      }

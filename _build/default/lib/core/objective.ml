@@ -1,0 +1,94 @@
+open Query
+
+type t = {
+  query : Bgp.t;
+  fragment_capacity : Bgp.t -> bool;
+  reformulate : Bgp.t -> Ucq.t;
+  jucq_cost : Jucq.t -> float;
+  ucq_cost : Ucq.t -> float;
+  jucq_cache : (string, Jucq.t) Hashtbl.t;
+  cost_cache : (string, float) Hashtbl.t;
+  fragment_cache : (string, float) Hashtbl.t;
+  mutable explored : int;
+}
+
+let create ?(fragment_capacity = fun _ -> true) ~reformulate ~jucq_cost
+    ~ucq_cost query =
+  {
+    query;
+    fragment_capacity;
+    reformulate;
+    jucq_cost;
+    ucq_cost;
+    jucq_cache = Hashtbl.create 64;
+    cost_cache = Hashtbl.create 64;
+    fragment_cache = Hashtbl.create 64;
+    explored = 0;
+  }
+
+let query t = t.query
+
+let cover_key (c : Jucq.cover) =
+  let frag f = String.concat "," (List.map string_of_int f) in
+  String.concat ";" (List.sort String.compare (List.map frag c))
+
+let jucq_of t cover =
+  let key = cover_key cover in
+  match Hashtbl.find_opt t.jucq_cache key with
+  | Some j -> j
+  | None ->
+      let j = Jucq.make ~reformulate:t.reformulate t.query cover in
+      Hashtbl.add t.jucq_cache key j;
+      j
+
+let cover_cost t cover =
+  let key = cover_key cover in
+  match Hashtbl.find_opt t.cost_cache key with
+  | Some c -> c
+  | None ->
+      (* A cover with a fragment the engine would refuse, or whose
+         reformulation cannot even be constructed, is infinitely expensive;
+         the capacity screen avoids building huge unions just to reject
+         them. *)
+      let feasible =
+        List.for_all
+          (fun f -> t.fragment_capacity (Jucq.cover_query t.query cover f))
+          cover
+      in
+      let c =
+        if not feasible then infinity
+        else
+          match jucq_of t cover with
+          | j -> t.jucq_cost j
+          | exception Reformulation.Reformulate.Too_large _ -> infinity
+      in
+      Hashtbl.add t.cost_cache key c;
+      t.explored <- t.explored + 1;
+      c
+
+let fragment_cost t (f : Jucq.fragment) =
+  let key = String.concat "," (List.map string_of_int f) in
+  match Hashtbl.find_opt t.fragment_cache key with
+  | Some c -> c
+  | None ->
+      let atoms = List.map (List.nth t.query.Bgp.body) f in
+      let vars =
+        List.sort_uniq String.compare (List.concat_map Bgp.atom_vars atoms)
+      in
+      let head = List.map (fun v -> Bgp.Var v) vars in
+      let cq =
+        match head with
+        | [] -> Bgp.make [ (List.hd atoms).Bgp.s ] atoms
+        | _ -> Bgp.make head atoms
+      in
+      let c =
+        if not (t.fragment_capacity cq) then infinity
+        else
+          match t.reformulate cq with
+          | ucq -> t.ucq_cost ucq
+          | exception Reformulation.Reformulate.Too_large _ -> infinity
+      in
+      Hashtbl.add t.fragment_cache key c;
+      c
+
+let explored t = t.explored

@@ -1,0 +1,42 @@
+(** The search objective shared by ECov and GCov: mapping covers of a fixed
+    BGP query to cover-based JUCQ reformulations and their estimated costs,
+    with memoization (both algorithms revisit fragments and covers
+    massively) and an exploration counter (the statistic plotted in
+    Figures 7-8). *)
+
+type t
+
+val create :
+  ?fragment_capacity:(Query.Bgp.t -> bool) ->
+  reformulate:(Query.Bgp.t -> Query.Ucq.t) ->
+  jucq_cost:(Query.Jucq.t -> float) ->
+  ucq_cost:(Query.Ucq.t -> float) ->
+  Query.Bgp.t ->
+  t
+(** An objective for one query.  [reformulate] is the CQ→UCQ algorithm [A];
+    [jucq_cost] the cover-reformulation cost function (Section 4.1 model,
+    or an engine's EXPLAIN — Figure 9 compares both); [ucq_cost] prices a
+    single fragment's reformulation, used to order fragments inside a
+    cover.  [fragment_capacity] (default: always true) pre-screens a cover
+    query {e before} its reformulation is constructed: when it returns
+    false (the engine would refuse the fragment's union anyway), the cover
+    is priced infinite without paying the construction — this is what lets
+    exhaustive search traverse spaces whose worst covers have 300,000-term
+    fragments. *)
+
+val query : t -> Query.Bgp.t
+(** The query under optimization. *)
+
+val jucq_of : t -> Query.Jucq.cover -> Query.Jucq.t
+(** The cover-based JUCQ reformulation of a cover (Theorem 3.1), memoized. *)
+
+val cover_cost : t -> Query.Jucq.cover -> float
+(** Estimated cost of a cover's reformulation, memoized.  Each distinct
+    cover costed increments {!explored}. *)
+
+val fragment_cost : t -> Query.Jucq.fragment -> float
+(** Estimated cost of one fragment's UCQ reformulation (ordering heuristic
+    for redundancy pruning), memoized. *)
+
+val explored : t -> int
+(** Number of distinct covers whose cost has been estimated. *)

@@ -1,0 +1,1 @@
+lib/engine/plan.ml: Buffer Executor Float Format List Printf Profile Query Store

@@ -1,0 +1,1 @@
+lib/engine/sql.ml: Bgp Hashtbl Jucq List Printf Query Store String Ucq

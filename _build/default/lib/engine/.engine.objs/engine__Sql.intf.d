@@ -1,0 +1,1 @@
+lib/engine/sql.mli: Query Store

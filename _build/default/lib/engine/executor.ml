@@ -1,0 +1,462 @@
+open Query
+module Es = Store.Encoded_store
+
+type t = {
+  store : Es.t;
+  profile : Profile.t;
+  stats : Store.Statistics.t;
+  mutable ops : int;
+}
+
+let create ?(profile = Profile.postgres_like) store =
+  { store; profile; stats = Store.Statistics.create store; ops = 0 }
+
+let store t = t.store
+let profile t = t.profile
+let statistics t = t.stats
+let last_operations t = t.ops
+
+let fail t reason =
+  raise (Profile.Engine_failure { engine = t.profile.Profile.name; reason })
+
+let charge t n =
+  t.ops <- t.ops + n;
+  if t.ops > t.profile.Profile.max_operations then
+    fail t (Profile.Operation_budget { limit = t.profile.Profile.max_operations })
+
+let check_materialization t rel =
+  let rows = Relation.rows rel in
+  if rows > t.profile.Profile.max_materialized_rows then
+    fail t
+      (Profile.Materialization_overflow
+         { rows; limit = t.profile.Profile.max_materialized_rows })
+
+(* ---- CQ compilation ---- *)
+
+type slot = V of int | K of int
+
+type eatom = { es : slot; ep : slot; eo : slot }
+
+type ecq = {
+  nvars : int;
+  head : slot array;
+  atoms : eatom array;
+  prop_codes : int option array;  (* constant property code per atom, if any *)
+}
+
+exception Unsatisfiable  (* a query constant absent from the dictionary *)
+
+let compile t (q : Bgp.t) : ecq =
+  let q = Bgp.normalize q in
+  let vars = Bgp.vars q in
+  let index v =
+    let rec go i = function
+      | [] -> assert false
+      | x :: _ when String.equal x v -> i
+      | _ :: rest -> go (i + 1) rest
+    in
+    go 0 vars
+  in
+  let slot = function
+    | Bgp.Var v -> V (index v)
+    | Bgp.Const c -> (
+        match Es.encode_term t.store c with
+        | Some code -> K code
+        | None -> raise Unsatisfiable)
+  in
+  (* Head constants are output values, not selections: a schema class that
+     never occurs in the data (e.g. an instantiated [q(x, Person)] head)
+     must still be producible, so it is encoded on demand. *)
+  let head_slot = function
+    | Bgp.Var v -> V (index v)
+    | Bgp.Const c -> K (Rdf.Dictionary.encode (Es.dictionary t.store) c)
+  in
+  let atoms =
+    Array.of_list
+      (List.map
+         (fun (a : Bgp.atom) -> { es = slot a.s; ep = slot a.p; eo = slot a.o })
+         q.body)
+  in
+  let prop_codes =
+    Array.map (fun a -> match a.ep with K c -> Some c | V _ -> None) atoms
+  in
+  {
+    nvars = List.length vars;
+    head = Array.of_list (List.map head_slot q.head);
+    atoms;
+    prop_codes;
+  }
+
+(* ---- atom ordering (greedy selectivity) ---- *)
+
+let slot_bound bindings = function
+  | K c -> Some c
+  | V v -> if bindings.(v) >= 0 then Some bindings.(v) else None
+
+(* Planning-time estimate of an atom's output given which variables are
+   already bound: the exact count for the constant positions, discounted by
+   per-property NDV for each bound variable position. *)
+let plan_estimate t (cq : ecq) i (bound : bool array) =
+  let a = cq.atoms.(i) in
+  let const_only = function K c -> Some c | V _ -> None in
+  let base =
+    float_of_int
+      (Es.count t.store
+         {
+           Es.ps = const_only a.es;
+           pp = const_only a.ep;
+           po = const_only a.eo;
+         })
+  in
+  let bound_var = function V v -> bound.(v) | K _ -> false in
+  let discount pos =
+    if not (bound_var (match pos with `S -> a.es | `O -> a.eo)) then 1.0
+    else
+      match cq.prop_codes.(i) with
+      | Some p ->
+          float_of_int
+            (Store.Statistics.ndv t.stats ~prop:p
+               (match pos with `S -> `Subject | `O -> `Object))
+      | None -> 8.0
+  in
+  let prop_discount = if bound_var a.ep then 16.0 else 1.0 in
+  base /. (discount `S *. discount `O *. prop_discount)
+
+let order_atoms t (cq : ecq) =
+  let n = Array.length cq.atoms in
+  let used = Array.make n false in
+  let bound = Array.make cq.nvars false in
+  let bind_atom i =
+    let mark = function V v -> bound.(v) <- true | K _ -> () in
+    mark cq.atoms.(i).es;
+    mark cq.atoms.(i).ep;
+    mark cq.atoms.(i).eo
+  in
+  let connected i =
+    let has = function V v -> bound.(v) | K _ -> false in
+    has cq.atoms.(i).es || has cq.atoms.(i).ep || has cq.atoms.(i).eo
+  in
+  let order = Array.make n 0 in
+  for step = 0 to n - 1 do
+    let best = ref (-1) in
+    let best_score = ref infinity in
+    for i = 0 to n - 1 do
+      if not used.(i) then begin
+        (* Prefer atoms connected to the bound prefix (avoid products). *)
+        let penalty = if step > 0 && not (connected i) then 1e12 else 1.0 in
+        let score = plan_estimate t cq i bound *. penalty in
+        if score < !best_score then begin
+          best_score := score;
+          best := i
+        end
+      end
+    done;
+    order.(step) <- !best;
+    used.(!best) <- true;
+    bind_atom !best
+  done;
+  order
+
+(* ---- CQ execution: index nested loops ---- *)
+
+let exec_cq t (cq : ecq) ~(emit : int array -> unit) =
+  let bindings = Array.make (max 1 cq.nvars) (-1) in
+  let order = order_atoms t cq in
+  let head_buf = Array.make (Array.length cq.head) 0 in
+  let rec step k =
+    if k = Array.length order then begin
+      Array.iteri
+        (fun j s ->
+          head_buf.(j) <-
+            (match s with K c -> c | V v -> bindings.(v)))
+        cq.head;
+      charge t 1;
+      emit head_buf
+    end
+    else begin
+      let a = cq.atoms.(order.(k)) in
+      let pat =
+        {
+          Es.ps = slot_bound bindings a.es;
+          pp = slot_bound bindings a.ep;
+          po = slot_bound bindings a.eo;
+        }
+      in
+      let ids = Es.matching t.store pat in
+      let n = Store.Intvec.length ids in
+      charge t (max 1 (n / 64));
+      for idx = 0 to n - 1 do
+        let id = Store.Intvec.get ids idx in
+        charge t 1;
+        let s = Es.subject t.store id
+        and p = Es.property t.store id
+        and o = Es.obj t.store id in
+        (* Unify the unbound variable positions; remember what to undo. *)
+        let undo = ref [] in
+        let unify slot value =
+          match slot with
+          | K c -> c = value
+          | V v ->
+              if bindings.(v) = -1 then begin
+                bindings.(v) <- value;
+                undo := v :: !undo;
+                true
+              end
+              else bindings.(v) = value
+        in
+        if unify a.es s && unify a.ep p && unify a.eo o then step (k + 1);
+        List.iter (fun v -> bindings.(v) <- -1) !undo
+      done
+    end
+  in
+  step 0
+
+let eval_cq_into t (q : Bgp.t) (out : Relation.t) =
+  match compile t q with
+  | exception Unsatisfiable -> ()
+  | cq -> exec_cq t cq ~emit:(fun row -> Relation.append out row)
+
+let eval_cq t (q : Bgp.t) =
+  t.ops <- 0;
+  let out = Relation.create ~cols:(List.length q.Bgp.head) in
+  eval_cq_into t q out;
+  let result = Relation.dedup out in
+  charge t (Relation.rows out);
+  result
+
+(* ---- UCQ execution ---- *)
+
+let eval_ucq_fragment t (u : Ucq.t) =
+  let terms = Ucq.cardinal u in
+  if terms > t.profile.Profile.max_union_terms then
+    fail t
+      (Profile.Union_capacity
+         { terms; limit = t.profile.Profile.max_union_terms });
+  let out = Relation.create ~cols:(Ucq.arity u) in
+  List.iter
+    (fun cq ->
+      eval_cq_into t cq out;
+      check_materialization t out)
+    (Ucq.disjuncts u);
+  charge t (Relation.rows out);
+  let result = Relation.dedup out in
+  check_materialization t result;
+  result
+
+let eval_ucq t u =
+  t.ops <- 0;
+  eval_ucq_fragment t u
+
+(* ---- joins ---- *)
+
+type named_rel = { columns : string list; rel : Relation.t }
+
+let positions columns names =
+  List.map
+    (fun v ->
+      let rec go i = function
+        | [] -> assert false
+        | c :: _ when String.equal c v -> i
+        | _ :: rest -> go (i + 1) rest
+      in
+      go 0 columns)
+    names
+
+let hash_join t a b =
+  let shared = List.filter (fun v -> List.mem v b.columns) a.columns in
+  let b_only = List.filter (fun v -> not (List.mem v shared)) b.columns in
+  let key_a = positions a.columns shared
+  and key_b = positions b.columns shared
+  and pay_b = positions b.columns b_only in
+  let tbl = Hashtbl.create (max 16 (Relation.rows b.rel)) in
+  Relation.iter
+    (fun row ->
+      charge t 1;
+      let k = List.map (fun j -> row.(j)) key_b in
+      let payload = List.map (fun j -> row.(j)) pay_b in
+      Hashtbl.add tbl k payload)
+    b.rel;
+  let out = Relation.create ~cols:(List.length a.columns + List.length b_only) in
+  Relation.iter
+    (fun row ->
+      charge t 1;
+      let k = List.map (fun j -> row.(j)) key_a in
+      List.iter
+        (fun payload ->
+          charge t 1;
+          Relation.append out (Array.of_list (Array.to_list row @ payload)))
+        (Hashtbl.find_all tbl k))
+    a.rel;
+  check_materialization t out;
+  { columns = a.columns @ b_only; rel = out }
+
+let block_nested_loop_join t a b =
+  let shared = List.filter (fun v -> List.mem v b.columns) a.columns in
+  let b_only = List.filter (fun v -> not (List.mem v shared)) b.columns in
+  let key_a = Array.of_list (positions a.columns shared)
+  and key_b = Array.of_list (positions b.columns shared)
+  and pay_b = Array.of_list (positions b.columns b_only) in
+  let na_cols = List.length a.columns in
+  let out = Relation.create ~cols:(na_cols + Array.length pay_b) in
+  let nb = Relation.rows b.rel in
+  (* materialize the inner relation as plain rows once: the quadratic scan
+     is the point of this profile, the per-cell bounds checks are not *)
+  let b_rows = Array.init nb (Relation.row b.rel) in
+  let nkeys = Array.length key_a in
+  let buf = Array.make (na_cols + Array.length pay_b) 0 in
+  Relation.iter
+    (fun row_a ->
+      charge t nb;
+      for i = 0 to nb - 1 do
+        let row_b = b_rows.(i) in
+        let rec matches k =
+          k >= nkeys
+          || (row_a.(key_a.(k)) = row_b.(key_b.(k)) && matches (k + 1))
+        in
+        if matches 0 then begin
+          Array.blit row_a 0 buf 0 na_cols;
+          Array.iteri (fun k j -> buf.(na_cols + k) <- row_b.(j)) pay_b;
+          Relation.append out buf
+        end
+      done)
+    a.rel;
+  check_materialization t out;
+  { columns = a.columns @ b_only; rel = out }
+
+let join t a b =
+  match t.profile.Profile.fragment_join with
+  | Profile.Hash_join -> hash_join t a b
+  | Profile.Block_nested_loop -> block_nested_loop_join t a b
+
+(* ---- JUCQ execution ---- *)
+
+let eval_jucq t (j : Jucq.t) =
+  t.ops <- 0;
+  (* Pre-check the engine's union capacity over all fragments: an RDBMS
+     parses the whole statement before executing any of it. *)
+  List.iter
+    (fun (_, u) ->
+      let terms = Ucq.cardinal u in
+      if terms > t.profile.Profile.max_union_terms then
+        fail t
+          (Profile.Union_capacity
+             { terms; limit = t.profile.Profile.max_union_terms }))
+    j.Jucq.fragments;
+  let fragments =
+    List.map
+      (fun ((cq : Bgp.t), u) ->
+        { columns = Bgp.head_vars cq; rel = eval_ucq_fragment t u })
+      j.Jucq.fragments
+  in
+  (* Greedy join order: start from the smallest fragment, then repeatedly
+     join the smallest fragment sharing a column with the accumulated
+     result — what an RDBMS optimizer does to avoid cartesian products.
+     Only when no remaining fragment connects (which a valid cover's join
+     graph rules out except through intermediate disconnections) is a true
+     product taken. *)
+  let joined =
+    match
+      List.sort
+        (fun a b -> Int.compare (Relation.rows a.rel) (Relation.rows b.rel))
+        fragments
+    with
+    | [] -> invalid_arg "Executor.eval_jucq: no fragments"
+    | first :: rest ->
+        let connected acc f =
+          List.exists (fun c -> List.mem c acc.columns) f.columns
+        in
+        let rec fold acc remaining =
+          match remaining with
+          | [] -> acc
+          | _ ->
+              let candidates =
+                List.filter (connected acc) remaining
+              in
+              let pick =
+                match candidates with
+                | [] -> List.hd remaining
+                | c :: cs ->
+                    List.fold_left
+                      (fun best x ->
+                        if Relation.rows x.rel < Relation.rows best.rel then x
+                        else best)
+                      c cs
+              in
+              let remaining' = List.filter (fun f -> f != pick) remaining in
+              fold (join t acc pick) remaining'
+        in
+        fold first rest
+  in
+  (* Project the original head, then deduplicate. *)
+  let head_cols =
+    List.map
+      (function
+        | Bgp.Var v -> `Col (List.hd (positions joined.columns [ v ]))
+        | Bgp.Const c -> (
+            match Es.encode_term t.store c with
+            | Some code -> `Const code
+            | None ->
+                (* Constants in reformulated heads come from the schema, so
+                   they are always in the dictionary; encode defensively. *)
+                `Const (Rdf.Dictionary.encode (Es.dictionary t.store) c)))
+      j.Jucq.head
+  in
+  let out = Relation.create ~cols:(List.length head_cols) in
+  let buf = Array.make (List.length head_cols) 0 in
+  Relation.iter
+    (fun row ->
+      charge t 1;
+      List.iteri
+        (fun i c ->
+          buf.(i) <- (match c with `Col j' -> row.(j') | `Const code -> code))
+        head_cols;
+      Relation.append out buf)
+    joined.rel;
+  charge t (Relation.rows out);
+  let result = Relation.dedup out in
+  check_materialization t result;
+  result
+
+(* ---- decoding ---- *)
+
+let decode t rel =
+  let d = Rdf.Dictionary.decode (Es.dictionary t.store) in
+  Relation.to_list rel
+  |> List.map (fun row -> List.map d (Array.to_list row))
+  |> List.sort_uniq (List.compare Rdf.Term.compare)
+
+(* ---- engine-internal cost estimation (the EXPLAIN analogue) ---- *)
+
+let explain_cost t (j : Jucq.t) =
+  let p = t.profile in
+  let cq_cost (cq : Bgp.t) =
+    (* Bottom-up: every atom is an index probe per intermediate row. *)
+    let card = Store.Statistics.cq_cardinality t.stats cq in
+    let natoms = float_of_int (List.length cq.Bgp.body) in
+    (0.05 *. natoms) +. (card *. p.Profile.c_t *. natoms)
+  in
+  let frag_cost (_, u) =
+    let disjuncts = Ucq.disjuncts u in
+    let cost = List.fold_left (fun acc cq -> acc +. cq_cost cq) 0.0 disjuncts in
+    let card = Store.Statistics.ucq_cardinality t.stats u in
+    cost +. (card *. (p.Profile.c_l +. p.Profile.c_m))
+  in
+  let frag_cards =
+    List.map (fun (_, u) -> Store.Statistics.ucq_cardinality t.stats u)
+      j.Jucq.fragments
+  in
+  let join_cost =
+    match t.profile.Profile.fragment_join with
+    | Profile.Hash_join ->
+        List.fold_left ( +. ) 0.0 frag_cards *. p.Profile.c_j
+    | Profile.Block_nested_loop ->
+        (* quadratic in the two largest inputs, pairwise *)
+        let rec pairs = function
+          | a :: (b :: _ as rest) -> (a *. b *. p.Profile.c_j /. 64.0) +. pairs rest
+          | [ _ ] | [] -> 0.0
+        in
+        pairs (List.sort compare frag_cards)
+  in
+  p.Profile.c_db
+  +. List.fold_left (fun acc f -> acc +. frag_cost f) 0.0 j.Jucq.fragments
+  +. join_cost

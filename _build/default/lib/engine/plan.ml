@@ -1,0 +1,76 @@
+type fragment_info = {
+  cover_query : Query.Bgp.t;
+  union_terms : int;
+  estimated_rows : float;
+}
+
+type t = {
+  fragments : fragment_info list;
+  join_algorithm : Profile.join_algorithm;
+  estimated_result_rows : float;
+}
+
+let describe ex (j : Query.Jucq.t) =
+  let stats = Executor.statistics ex in
+  let fragments =
+    List.map
+      (fun (cq, ucq) ->
+        {
+          cover_query = cq;
+          union_terms = Query.Ucq.cardinal ucq;
+          estimated_rows = Store.Statistics.ucq_cardinality stats ucq;
+        })
+      j.Query.Jucq.fragments
+    |> List.sort (fun a b -> Float.compare a.estimated_rows b.estimated_rows)
+  in
+  let final_estimate =
+    (* the JUCQ's answers are the original query's answers: estimate on the
+       union of fragment bodies *)
+    let atoms =
+      List.concat_map (fun f -> f.cover_query.Query.Bgp.body) fragments
+      |> List.sort_uniq Query.Bgp.atom_compare
+    in
+    let head =
+      List.filter_map
+        (function Query.Bgp.Var v -> Some (Query.Bgp.Var v) | _ -> None)
+        j.Query.Jucq.head
+    in
+    match head with
+    | [] -> 1.0
+    | _ -> Store.Statistics.cq_cardinality stats (Query.Bgp.make head atoms)
+  in
+  (* A zero direct estimate only means "no explicit matches": the fragments
+     estimate their reformulations, so their minimum is the better bound. *)
+  let fragment_min =
+    List.fold_left (fun acc f -> Float.min acc f.estimated_rows) infinity
+      fragments
+  in
+  {
+    fragments;
+    join_algorithm = (Executor.profile ex).Profile.fragment_join;
+    estimated_result_rows =
+      (if final_estimate > 0.0 then Float.min final_estimate fragment_min
+       else fragment_min);
+  }
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  addf "Dedup (final, est. %.0f rows)\n" t.estimated_result_rows;
+  addf "└─ Project head\n";
+  let algo =
+    match t.join_algorithm with
+    | Profile.Hash_join -> "HashJoin"
+    | Profile.Block_nested_loop -> "BlockNestedLoopJoin"
+  in
+  List.iteri
+    (fun i f ->
+      let connector = if i = 0 then "   └─" else Printf.sprintf "   %s─" algo in
+      addf "%s Fragment %d: %s\n" connector (i + 1)
+        (Query.Bgp.to_string f.cover_query);
+      addf "        union of %d CQs, est. %.0f rows (materialized, dedup)\n"
+        f.union_terms f.estimated_rows)
+    t.fragments;
+  Buffer.contents buf
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,29 @@
+(** Textual physical-plan explanation for JUCQ evaluation.
+
+    {!describe} reconstructs, without executing anything, the plan shape
+    {!Executor.eval_jucq} will use: per fragment, the union width and the
+    estimated cardinality; then the greedy fragment-join order with
+    estimated intermediate sizes; finally the head projection and the
+    duplicate elimination.  The CLI's [explain] command and the examples
+    print it so a user can see {e why} a cover wins. *)
+
+type fragment_info = {
+  cover_query : Query.Bgp.t;      (** the fragment's cover query *)
+  union_terms : int;              (** CQs in its reformulation *)
+  estimated_rows : float;         (** statistics estimate of its result *)
+}
+
+type t = {
+  fragments : fragment_info list;   (** in join order (smallest first) *)
+  join_algorithm : Profile.join_algorithm;
+  estimated_result_rows : float;    (** estimate of the final result *)
+}
+
+val describe : Executor.t -> Query.Jucq.t -> t
+(** Builds the plan description from the engine's statistics. *)
+
+val to_string : t -> string
+(** Multi-line rendering, one operator per line. *)
+
+val pp : Format.formatter -> t -> unit
+(** Pretty-printer for {!to_string}. *)

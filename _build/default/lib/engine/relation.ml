@@ -1,0 +1,69 @@
+type t = { ncols : int; mutable data : int array; mutable nrows : int }
+
+let create ~cols =
+  if cols < 0 then invalid_arg "Relation.create: negative arity";
+  { ncols = cols; data = Array.make (max 1 (16 * cols)) 0; nrows = 0 }
+
+let cols r = r.ncols
+let rows r = r.nrows
+
+let ensure_capacity r =
+  let needed = (r.nrows + 1) * r.ncols in
+  if needed > Array.length r.data then begin
+    let data = Array.make (max needed (2 * Array.length r.data)) 0 in
+    Array.blit r.data 0 data 0 (r.nrows * r.ncols);
+    r.data <- data
+  end
+
+let append r row =
+  if Array.length row <> r.ncols then
+    invalid_arg "Relation.append: arity mismatch";
+  ensure_capacity r;
+  Array.blit row 0 r.data (r.nrows * r.ncols) r.ncols;
+  r.nrows <- r.nrows + 1
+
+let get r i j =
+  if i < 0 || i >= r.nrows || j < 0 || j >= r.ncols then
+    invalid_arg "Relation.get: out of bounds";
+  r.data.((i * r.ncols) + j)
+
+let row r i =
+  if i < 0 || i >= r.nrows then invalid_arg "Relation.row: out of bounds";
+  Array.sub r.data (i * r.ncols) r.ncols
+
+let iter f r =
+  for i = 0 to r.nrows - 1 do
+    f (Array.sub r.data (i * r.ncols) r.ncols)
+  done
+
+let project r columns =
+  Array.iter
+    (fun j ->
+      if j < 0 || j >= r.ncols then invalid_arg "Relation.project: bad column")
+    columns;
+  let out = create ~cols:(Array.length columns) in
+  let buf = Array.make (Array.length columns) 0 in
+  for i = 0 to r.nrows - 1 do
+    Array.iteri (fun k j -> buf.(k) <- r.data.((i * r.ncols) + j)) columns;
+    append out buf
+  done;
+  out
+
+let dedup r =
+  let seen = Hashtbl.create (max 16 r.nrows) in
+  let out = create ~cols:r.ncols in
+  iter
+    (fun row ->
+      if not (Hashtbl.mem seen row) then begin
+        Hashtbl.add seen row ();
+        append out row
+      end)
+    r;
+  out
+
+let to_list r =
+  let acc = ref [] in
+  for i = r.nrows - 1 downto 0 do
+    acc := row r i :: !acc
+  done;
+  !acc

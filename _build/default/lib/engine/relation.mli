@@ -1,0 +1,34 @@
+(** Materialized relations of dictionary codes: the intermediate and final
+    results of the execution engine.  Row-major flattened storage. *)
+
+type t
+
+val create : cols:int -> t
+(** An empty relation with [cols] columns ([cols >= 0]). *)
+
+val cols : t -> int
+(** Number of columns. *)
+
+val rows : t -> int
+(** Number of rows. *)
+
+val append : t -> int array -> unit
+(** Appends one row.  Raises [Invalid_argument] on an arity mismatch. *)
+
+val get : t -> int -> int -> int
+(** [get r i j] is column [j] of row [i]. *)
+
+val row : t -> int -> int array
+(** A fresh copy of row [i]. *)
+
+val iter : (int array -> unit) -> t -> unit
+(** Iterates rows; the array passed to the callback is fresh per row. *)
+
+val project : t -> int array -> t
+(** [project r cols] keeps the given column indexes, in order. *)
+
+val dedup : t -> t
+(** Hash-based duplicate elimination, preserving first occurrences. *)
+
+val to_list : t -> int array list
+(** All rows, in order. *)

@@ -1,0 +1,125 @@
+open Query
+module Es = Store.Encoded_store
+
+(* Column reference of a pattern term, given one representative position
+   per variable. *)
+let build_var_map (q : Bgp.t) =
+  let map = Hashtbl.create 8 in
+  List.iteri
+    (fun i (a : Bgp.atom) ->
+      let note pos col =
+        match pos with
+        | Bgp.Var v ->
+            if not (Hashtbl.mem map v) then
+              Hashtbl.add map v (Printf.sprintf "t%d.%s" i col)
+        | Bgp.Const _ -> ()
+      in
+      note a.s "s";
+      note a.p "p";
+      note a.o "o")
+    q.body;
+  map
+
+let cq store (q : Bgp.t) =
+  let q = Bgp.normalize q in
+  let vmap = build_var_map q in
+  let preds = ref [] in
+  let add p = preds := p :: !preds in
+  List.iteri
+    (fun i (a : Bgp.atom) ->
+      let pos col = function
+        | Bgp.Const c -> (
+            match Es.encode_term store c with
+            | Some code -> add (Printf.sprintf "t%d.%s = %d" i col code)
+            | None -> add "1 = 0")
+        | Bgp.Var v ->
+            let canonical = Hashtbl.find vmap v in
+            let this = Printf.sprintf "t%d.%s" i col in
+            if not (String.equal canonical this) then
+              add (Printf.sprintf "%s = %s" this canonical)
+      in
+      pos "s" a.s;
+      pos "p" a.p;
+      pos "o" a.o)
+    q.body;
+  let select =
+    match q.head with
+    | [] -> "1"
+    | head ->
+        String.concat ", "
+          (List.mapi
+             (fun i t ->
+               match t with
+               | Bgp.Var v -> Printf.sprintf "%s AS c%d" (Hashtbl.find vmap v) i
+               | Bgp.Const c -> (
+                   match Es.encode_term store c with
+                   | Some code -> Printf.sprintf "%d AS c%d" code i
+                   | None -> Printf.sprintf "-1 AS c%d" i))
+             head)
+  in
+  let from =
+    String.concat ", "
+      (List.mapi (fun i _ -> Printf.sprintf "Triples t%d" i) q.body)
+  in
+  let where =
+    match List.rev !preds with
+    | [] -> ""
+    | ps -> " WHERE " ^ String.concat " AND " ps
+  in
+  Printf.sprintf "SELECT DISTINCT %s FROM %s%s" select from where
+
+let ucq store u =
+  String.concat "\nUNION\n" (List.map (cq store) (Ucq.disjuncts u))
+
+let jucq store (j : Jucq.t) =
+  let fragment i ((cqh : Bgp.t), u) =
+    let cols = Bgp.head_vars cqh in
+    Printf.sprintf "(%s) f%d(%s)" (ucq store u) i (String.concat ", " cols)
+  in
+  let subqueries = List.mapi fragment j.Jucq.fragments in
+  (* Join predicates: equate every shared column across fragments. *)
+  let frag_cols =
+    List.map (fun ((cqh : Bgp.t), _) -> Bgp.head_vars cqh) j.Jucq.fragments
+  in
+  let preds = ref [] in
+  List.iteri
+    (fun i cols_i ->
+      List.iteri
+        (fun k cols_k ->
+          if k > i then
+            List.iter
+              (fun v ->
+                if List.mem v cols_k then
+                  preds := Printf.sprintf "f%d.%s = f%d.%s" i v k v :: !preds)
+              cols_i)
+        frag_cols)
+    frag_cols;
+  let owner v =
+    let rec go i = function
+      | [] -> assert false
+      | cols :: rest ->
+          if List.mem v cols then Printf.sprintf "f%d.%s" i v
+          else go (i + 1) rest
+    in
+    go 0 frag_cols
+  in
+  let select =
+    String.concat ", "
+      (List.mapi
+         (fun i t ->
+           match t with
+           | Bgp.Var v -> Printf.sprintf "%s AS c%d" (owner v) i
+           | Bgp.Const c -> (
+               match Es.encode_term store c with
+               | Some code -> Printf.sprintf "%d AS c%d" code i
+               | None -> Printf.sprintf "-1 AS c%d" i))
+         j.Jucq.head)
+  in
+  let where =
+    match List.rev !preds with
+    | [] -> ""
+    | ps -> "\nWHERE " ^ String.concat " AND " ps
+  in
+  Printf.sprintf "SELECT DISTINCT %s\nFROM %s%s" select
+    (String.concat ",\n     " subqueries)
+    where

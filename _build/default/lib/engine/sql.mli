@@ -1,0 +1,19 @@
+(** SQL rendering of (J)UCQ reformulations over the [Triples(s, p, o)]
+    table — the statements the paper ships to the RDBMS.
+
+    Each CQ becomes a self-join of [Triples] aliases [t0, t1, …] with
+    equality predicates for constants (as dictionary codes) and shared
+    variables; a UCQ becomes a [UNION] of such [SELECT]s; a JUCQ wraps its
+    fragment UCQs as subqueries joined on their shared columns.  The
+    rendering is exercised by the CLI and documentation examples; the
+    in-process executor evaluates the same algebra natively. *)
+
+val cq : Store.Encoded_store.t -> Query.Bgp.t -> string
+(** [SELECT … FROM Triples t0, … WHERE …] for one CQ.  Constants missing
+    from the dictionary render as an always-false predicate ([1=0]). *)
+
+val ucq : Store.Encoded_store.t -> Query.Ucq.t -> string
+(** [UNION] of the member CQs. *)
+
+val jucq : Store.Encoded_store.t -> Query.Jucq.t -> string
+(** Join of fragment subqueries, projecting the original head. *)

@@ -1,0 +1,1 @@
+lib/query/bgp.ml: Format Hashtbl List Option Printf Rdf String

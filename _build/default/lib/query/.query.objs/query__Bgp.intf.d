@@ -1,0 +1,1 @@
+lib/query/bgp.mli: Format Rdf

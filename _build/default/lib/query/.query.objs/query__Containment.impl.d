@@ -1,0 +1,1 @@
+lib/query/containment.ml: Array Bgp List Option Rdf Ucq

@@ -1,0 +1,1 @@
+lib/query/jucq.ml: Bgp Format Hashtbl Int List Rdf Result String Ucq

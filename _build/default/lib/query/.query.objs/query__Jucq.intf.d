@@ -1,0 +1,1 @@
+lib/query/jucq.mli: Bgp Format Rdf Ucq

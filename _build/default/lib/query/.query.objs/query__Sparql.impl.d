@@ -1,0 +1,1 @@
+lib/query/sparql.ml: Bgp List Printf Rdf String

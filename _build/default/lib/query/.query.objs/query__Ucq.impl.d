@@ -1,0 +1,1 @@
+lib/query/ucq.ml: Bgp Format List Rdf String

@@ -1,0 +1,78 @@
+(* Containment mapping search: backtracking assignment of q2's variables,
+   atom by atom.  Queries are small (reformulation disjuncts have the
+   original query's atom count), so the exponential worst case is
+   immaterial. *)
+
+type binding = (string * Bgp.pattern_term) list
+
+let unify_term (b : binding) (src : Bgp.pattern_term)
+    (dst : Bgp.pattern_term) : binding option =
+  match src with
+  | Bgp.Const c -> (
+      match dst with
+      | Bgp.Const c' when Rdf.Term.equal c c' -> Some b
+      | Bgp.Const _ | Bgp.Var _ -> None)
+  | Bgp.Var v -> (
+      match List.assoc_opt v b with
+      | Some bound -> if Bgp.pattern_term_equal bound dst then Some b else None
+      | None -> Some ((v, dst) :: b))
+
+let unify_atom (b : binding) (src : Bgp.atom) (dst : Bgp.atom) : binding option =
+  match unify_term b src.Bgp.s dst.Bgp.s with
+  | None -> None
+  | Some b -> (
+      match unify_term b src.Bgp.p dst.Bgp.p with
+      | None -> None
+      | Some b -> unify_term b src.Bgp.o dst.Bgp.o)
+
+let homomorphism ~from:(q2 : Bgp.t) ~into:(q1 : Bgp.t) =
+  if List.length q2.Bgp.head <> List.length q1.Bgp.head then None
+  else
+    (* Seed the binding with the head correspondence. *)
+    let seed =
+      List.fold_left2
+        (fun acc src dst ->
+          match acc with
+          | None -> None
+          | Some b -> unify_term b src dst)
+        (Some []) q2.Bgp.head q1.Bgp.head
+    in
+    match seed with
+    | None -> None
+    | Some seed ->
+        let rec search b = function
+          | [] -> Some b
+          | atom :: rest ->
+              List.find_map
+                (fun target ->
+                  match unify_atom b atom target with
+                  | None -> None
+                  | Some b' -> search b' rest)
+                q1.Bgp.body
+        in
+        search seed q2.Bgp.body
+
+let contained q1 q2 = Option.is_some (homomorphism ~from:q2 ~into:q1)
+
+let equivalent q1 q2 = contained q1 q2 && contained q2 q1
+
+let minimize u =
+  let disjuncts = Array.of_list (Ucq.disjuncts u) in
+  let n = Array.length disjuncts in
+  let redundant i =
+    let qi = disjuncts.(i) in
+    let rec check j =
+      if j >= n then false
+      else if j = i then check (j + 1)
+      else
+        let qj = disjuncts.(j) in
+        if contained qi qj && ((not (contained qj qi)) || j < i) then true
+        else check (j + 1)
+    in
+    check 0
+  in
+  let kept = ref [] in
+  for i = n - 1 downto 0 do
+    if not (redundant i) then kept := disjuncts.(i) :: !kept
+  done;
+  Ucq.of_cqs !kept

@@ -1,0 +1,33 @@
+(** Conjunctive-query containment and UCQ minimization.
+
+    A CQ [q1] is contained in [q2] ([q1 ⊑ q2]) iff every database gives
+    [q1(db) ⊆ q2(db)]; by the classical homomorphism theorem this holds
+    iff there is a {e containment mapping} from [q2] to [q1]: a
+    substitution of [q2]'s variables that maps every body atom of [q2]
+    onto a body atom of [q1] and maps [q2]'s head onto [q1]'s head.
+
+    Reformulation algorithms — and the paper — keep their unions
+    containment-redundant (Example 4's term (5) is contained in (4)):
+    evaluating redundant disjuncts is wasted work a smarter engine could
+    skip, which is exactly what {!minimize} measures in the ablation
+    benchmarks.  Deciding containment is NP-complete in the query size;
+    queries here are small, and the search backtracks over at most
+    [|q1.body|^|q2.body|] candidate mappings. *)
+
+val homomorphism :
+  from:Bgp.t -> into:Bgp.t -> (string * Bgp.pattern_term) list option
+(** [homomorphism ~from:q2 ~into:q1] is a containment mapping from [q2] to
+    [q1] if one exists: a substitution on [q2]'s variables such that every
+    atom of [q2] maps to an atom of [q1] and the head of [q2] maps to the
+    head of [q1] position-wise.  Requires equal head arities. *)
+
+val contained : Bgp.t -> Bgp.t -> bool
+(** [contained q1 q2] is [q1 ⊑ q2]. *)
+
+val equivalent : Bgp.t -> Bgp.t -> bool
+(** Mutual containment. *)
+
+val minimize : Ucq.t -> Ucq.t
+(** Removes every disjunct contained in another disjunct (keeping one
+    representative of mutually-equivalent groups).  The result evaluates
+    to the same answers on every database, with fewer union terms. *)

@@ -1,0 +1,191 @@
+type fragment = int list
+
+type cover = fragment list
+
+type t = {
+  head : Bgp.pattern_term list;
+  fragments : (Bgp.t * Ucq.t) list;
+}
+
+let fragment_of_atoms idxs =
+  if idxs = [] then invalid_arg "Jucq.fragment_of_atoms: empty fragment";
+  List.sort_uniq Int.compare idxs
+
+let all_indexes (q : Bgp.t) = List.mapi (fun i _ -> i) q.body
+
+let ucq_cover q = [ all_indexes q ]
+
+let scq_cover (q : Bgp.t) = List.map (fun i -> [ i ]) (all_indexes q)
+
+let atoms_of (q : Bgp.t) f = List.map (List.nth q.body) f
+
+let fragment_included a b = List.for_all (fun i -> List.mem i b) a
+
+let check_cover (q : Bgp.t) (c : cover) =
+  let n = List.length q.body in
+  let ( let* ) r f = Result.bind r f in
+  let* () = if c = [] then Error "empty cover" else Ok () in
+  let* () =
+    if List.exists (fun f -> f = []) c then Error "empty fragment" else Ok ()
+  in
+  let* () =
+    if
+      List.exists (fun f -> List.exists (fun i -> i < 0 || i >= n) f) c
+    then Error "atom index out of range"
+    else Ok ()
+  in
+  let covered = List.sort_uniq Int.compare (List.concat c) in
+  let* () =
+    if List.length covered <> n then Error "cover misses some atom" else Ok ()
+  in
+  let* () =
+    let rec pairs = function
+      | [] -> Ok ()
+      | f :: rest ->
+          if
+            List.exists
+              (fun g -> fragment_included f g || fragment_included g f)
+              rest
+          then Error "fragment included in another"
+          else pairs rest
+    in
+    pairs c
+  in
+  let* () =
+    if
+      List.exists (fun f -> not (Bgp.is_connected (atoms_of q f))) c
+    then Error "fragment with internal cartesian product"
+    else Ok ()
+  in
+  if List.length c = 1 then Ok ()
+  else if
+    List.for_all
+      (fun f ->
+        List.exists
+          (fun g ->
+            f != g && Bgp.fragment_connected (atoms_of q f) (atoms_of q g))
+          c)
+      c
+  then Ok ()
+  else Error "fragment joins with no other fragment"
+
+let cover_query (q : Bgp.t) (c : cover) (f : fragment) : Bgp.t =
+  let f_atoms = atoms_of q f in
+  let f_vars = List.concat_map Bgp.atom_vars f_atoms in
+  let distinguished = Bgp.head_vars q in
+  let other_vars =
+    List.concat_map
+      (fun g -> if g == f then [] else List.concat_map Bgp.atom_vars (atoms_of q g))
+      c
+  in
+  let head =
+    List.filter
+      (fun v -> List.mem v distinguished || List.mem v other_vars)
+      (List.sort_uniq String.compare f_vars)
+  in
+  Bgp.make (List.map (fun v -> Bgp.Var v) head) f_atoms
+
+let make ~reformulate (q : Bgp.t) (c : cover) : t =
+  (match check_cover q c with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Jucq.make: invalid cover: " ^ msg));
+  let fragments =
+    List.map
+      (fun f ->
+        let cq = cover_query q c f in
+        (cq, reformulate cq))
+      c
+  in
+  { head = q.head; fragments }
+
+(* ---- Reference evaluation ---- *)
+
+(* Intermediate relations over named variables. *)
+type rel = { cols : string list; rows : Rdf.Term.t list list }
+
+let rel_of_fragment g ((cq : Bgp.t), ucq) =
+  let cols = Bgp.head_vars cq in
+  { cols; rows = Ucq.eval g ucq }
+
+let join_rels a b =
+  let shared = List.filter (fun v -> List.mem v b.cols) a.cols in
+  let b_only = List.filter (fun v -> not (List.mem v shared)) b.cols in
+  let positions cols vs =
+    List.map
+      (fun v ->
+        let rec idx i = function
+          | [] -> assert false
+          | c :: _ when String.equal c v -> i
+          | _ :: rest -> idx (i + 1) rest
+        in
+        idx 0 cols)
+      vs
+  in
+  let key_a = positions a.cols shared and key_b = positions b.cols shared in
+  let b_only_pos = positions b.cols b_only in
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun row ->
+      let k = List.map (List.nth row) key_b in
+      let payload = List.map (List.nth row) b_only_pos in
+      Hashtbl.add tbl k payload)
+    b.rows;
+  let rows =
+    List.concat_map
+      (fun row ->
+        let k = List.map (List.nth row) key_a in
+        List.map (fun payload -> row @ payload) (Hashtbl.find_all tbl k))
+      a.rows
+  in
+  { cols = a.cols @ b_only; rows }
+
+let eval g (t : t) =
+  match t.fragments with
+  | [] -> invalid_arg "Jucq.eval: no fragments"
+  | first :: rest ->
+      let joined =
+        List.fold_left
+          (fun acc fr -> join_rels acc (rel_of_fragment g fr))
+          (rel_of_fragment g first) rest
+      in
+      let project row =
+        List.map
+          (function
+            | Bgp.Const c -> c
+            | Bgp.Var v -> (
+                let rec find cols vals =
+                  match (cols, vals) with
+                  | c :: _, x :: _ when String.equal c v -> x
+                  | _ :: cs, _ :: xs -> find cs xs
+                  | _ -> assert false
+                in
+                find joined.cols row))
+          t.head
+      in
+      List.sort_uniq (List.compare Rdf.Term.compare)
+        (List.map project joined.rows)
+
+let fragment_count t = List.length t.fragments
+
+let total_disjuncts t =
+  List.fold_left (fun acc (_, ucq) -> acc + Ucq.cardinal ucq) 0 t.fragments
+
+let cover_to_string (c : cover) =
+  String.concat ""
+    (List.map
+       (fun f ->
+         "{" ^ String.concat "," (List.map (fun i -> "t" ^ string_of_int (i + 1)) f)
+         ^ "}")
+       c)
+
+let to_string t =
+  String.concat " ⋈ "
+    (List.map (fun (cq, _) -> "(" ^ Bgp.to_string cq ^ ")ref") t.fragments)
+
+let pp fmt t =
+  List.iteri
+    (fun i (cq, ucq) ->
+      if i > 0 then Format.fprintf fmt "@.⋈ ";
+      Format.fprintf fmt "fragment %a [%d disjuncts]" Bgp.pp cq
+        (Ucq.cardinal ucq))
+    t.fragments

@@ -1,0 +1,78 @@
+(** Joins of unions of conjunctive queries (JUCQs) and BGP query covers
+    (Section 3).
+
+    A cover of a BGP query [q(x̄) :- t1,…,tn] is a set of possibly
+    overlapping {e fragments} (non-empty subsets of the body atoms) such
+    that (i) every atom is covered, (ii) no fragment is included in
+    another, and (iii) if there are several fragments, each shares a
+    variable with at least one other (Definition 3.3).  Each fragment [f]
+    induces a {e cover query} [q_f] whose head carries the distinguished
+    variables of [q] occurring in [f] plus the variables [f] shares with
+    other fragments (Definition 3.4).
+
+    Theorem 3.1: joining UCQ reformulations of the cover queries yields a
+    JUCQ reformulation of [q] — the search space explored by ECov/GCov.
+
+    Fragments are represented as sets of atom {e indexes} into the query
+    body, so overlapping and identical atoms are handled unambiguously. *)
+
+type fragment = int list
+(** A fragment: sorted, duplicate-free atom indexes into the query body. *)
+
+type cover = fragment list
+(** A query cover: a list of fragments. *)
+
+type t = {
+  head : Bgp.pattern_term list;        (** the original query head *)
+  fragments : (Bgp.t * Ucq.t) list;    (** cover query and its reformulation *)
+}
+(** A JUCQ reformulation: the join of the [Ucq.t] fragment reformulations,
+    projected on [head].  Each fragment's rows are keyed by its cover-query
+    head variables. *)
+
+val fragment_of_atoms : int list -> fragment
+(** Sorts and deduplicates atom indexes.  Raises [Invalid_argument] on an
+    empty list. *)
+
+val ucq_cover : Bgp.t -> cover
+(** The single-fragment cover {t1,…,tn} — the flat UCQ reformulation of
+    prior work. *)
+
+val scq_cover : Bgp.t -> cover
+(** The all-singletons cover {{t1},…,{tn}} — the SCQ reformulation of
+    [13]. *)
+
+val check_cover : Bgp.t -> cover -> (unit, string) result
+(** Checks Definition 3.3 plus internal fragment connectivity (fragments
+    with an internal cartesian product are excluded from the search space,
+    as discussed after Theorem 3.1). *)
+
+val cover_query : Bgp.t -> cover -> fragment -> Bgp.t
+(** [cover_query q c f] is the cover query [q_f] of Definition 3.4, with
+    [c] providing the other fragments that determine shared variables. *)
+
+val make : reformulate:(Bgp.t -> Ucq.t) -> Bgp.t -> cover -> t
+(** Builds the cover-based JUCQ reformulation of Theorem 3.1: reformulates
+    every cover query with [reformulate] and joins them.  Raises
+    [Invalid_argument] if {!check_cover} fails. *)
+
+val eval : Rdf.Graph.t -> t -> Rdf.Term.t list list
+(** Reference evaluation: evaluates each fragment UCQ with the naive
+    evaluator, hash-joins fragment results on their shared variables and
+    projects the original head.  Set semantics; sorted rows. *)
+
+val fragment_count : t -> int
+(** Number of joined fragments. *)
+
+val total_disjuncts : t -> int
+(** Total number of CQs across all fragment reformulations — the
+    "#reformulations" statistic of Table 2. *)
+
+val cover_to_string : cover -> string
+(** Renders a cover as e.g. [{t1,t3}{t2}]. *)
+
+val to_string : t -> string
+(** Renders the JUCQ as the join of its fragment UCQs. *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line pretty-printer. *)

@@ -1,0 +1,170 @@
+type token =
+  | Kw of string        (* SELECT / WHERE / PREFIX, upper-cased *)
+  | Variable of string
+  | Iri of string
+  | Lit of string
+  | Prefixed of string * string
+  | A
+  | Lbrace
+  | Rbrace
+  | Dot
+  | Colon_decl of string  (* "name:" in a PREFIX declaration *)
+
+let fail pos msg =
+  invalid_arg (Printf.sprintf "Sparql.parse: at offset %d: %s" pos msg)
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let push t = toks := t :: !toks in
+  let is_ws c = c = ' ' || c = '\t' || c = '\n' || c = '\r' in
+  let is_name c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+    || c = '_' || c = '-'
+  in
+  let rec scan i =
+    if i >= n then ()
+    else
+      let c = src.[i] in
+      if is_ws c then scan (i + 1)
+      else if c = '#' then
+        let rec eol j = if j < n && src.[j] <> '\n' then eol (j + 1) else j in
+        scan (eol i)
+      else if c = '{' then (push Lbrace; scan (i + 1))
+      else if c = '}' then (push Rbrace; scan (i + 1))
+      else if c = '.' then (push Dot; scan (i + 1))
+      else if c = '?' || c = '$' then begin
+        let rec fin j = if j < n && is_name src.[j] then fin (j + 1) else j in
+        let j = fin (i + 1) in
+        if j = i + 1 then fail i "empty variable name";
+        push (Variable (String.sub src (i + 1) (j - i - 1)));
+        scan j
+      end
+      else if c = '<' then begin
+        let rec fin j =
+          if j >= n then fail i "unterminated IRI"
+          else if src.[j] = '>' then j
+          else fin (j + 1)
+        in
+        let j = fin (i + 1) in
+        push (Iri (String.sub src (i + 1) (j - i - 1)));
+        scan (j + 1)
+      end
+      else if c = '"' then begin
+        let rec fin j =
+          if j >= n then fail i "unterminated literal"
+          else if src.[j] = '"' then j
+          else fin (j + 1)
+        in
+        let j = fin (i + 1) in
+        push (Lit (String.sub src (i + 1) (j - i - 1)));
+        scan (j + 1)
+      end
+      else if is_name c then begin
+        let rec fin j = if j < n && is_name src.[j] then fin (j + 1) else j in
+        let j = fin i in
+        let word = String.sub src i (j - i) in
+        if j < n && src.[j] = ':' then begin
+          (* prefixed name or prefix declaration *)
+          let k = j + 1 in
+          let rec fin2 l =
+            if l < n && is_name src.[l] then fin2 (l + 1) else l
+          in
+          let l = fin2 k in
+          if l = k then (push (Colon_decl word); scan (j + 1))
+          else begin
+            push (Prefixed (word, String.sub src k (l - k)));
+            scan l
+          end
+        end
+        else begin
+          let upper = String.uppercase_ascii word in
+          (match upper with
+          | "SELECT" | "WHERE" | "PREFIX" | "DISTINCT" -> push (Kw upper)
+          | "A" when String.equal word "a" -> push A
+          | _ -> fail i ("unexpected word: " ^ word));
+          scan j
+        end
+      end
+      else fail i (Printf.sprintf "unexpected character %c" c)
+  in
+  scan 0;
+  List.rev !toks
+
+let builtin_prefixes =
+  [
+    ("rdf", "http://www.w3.org/1999/02/22-rdf-syntax-ns#");
+    ("rdfs", "http://www.w3.org/2000/01/rdf-schema#");
+  ]
+
+let parse src =
+  let toks = tokenize src in
+  (* Prefix declarations *)
+  let rec prefixes acc = function
+    | Kw "PREFIX" :: Colon_decl name :: Iri uri :: rest ->
+        prefixes ((name, uri) :: acc) rest
+    | Kw "PREFIX" :: _ -> fail 0 "malformed PREFIX declaration"
+    | rest -> (acc, rest)
+  in
+  let env, toks = prefixes builtin_prefixes toks in
+  let resolve p local =
+    match List.assoc_opt p env with
+    | Some base -> base ^ local
+    | None -> fail 0 ("undeclared prefix: " ^ p)
+  in
+  let term = function
+    | Variable v -> Bgp.Var v
+    | Iri u -> Bgp.Const (Rdf.Term.uri u)
+    | Lit s -> Bgp.Const (Rdf.Term.literal s)
+    | Prefixed (p, local) -> Bgp.Const (Rdf.Term.uri (resolve p local))
+    | A -> Bgp.Const Rdf.Vocab.rdf_type
+    | Kw _ | Lbrace | Rbrace | Dot | Colon_decl _ ->
+        fail 0 "expected a term"
+  in
+  let toks =
+    match toks with
+    (* answers are sets regardless: DISTINCT is accepted and implicit *)
+    | Kw "SELECT" :: Kw "DISTINCT" :: rest | Kw "SELECT" :: rest -> rest
+    | _ -> fail 0 "expected SELECT"
+  in
+  let rec head acc = function
+    | Variable v :: rest -> head (Bgp.Var v :: acc) rest
+    | Kw "WHERE" :: Lbrace :: rest -> (List.rev acc, rest)
+    | Lbrace :: rest -> (List.rev acc, rest)
+    | _ -> fail 0 "expected head variables then WHERE {"
+  in
+  let head, toks = head [] toks in
+  if head = [] then fail 0 "empty SELECT clause";
+  let rec patterns acc = function
+    | Rbrace :: rest ->
+        if rest <> [] then fail 0 "tokens after closing brace";
+        List.rev acc
+    | Dot :: rest -> patterns acc rest
+    | a :: b :: c :: rest ->
+        patterns (Bgp.atom (term a) (term b) (term c) :: acc) rest
+    | _ -> fail 0 "incomplete triple pattern"
+  in
+  let body = patterns [] toks in
+  Bgp.make head body
+
+let term_to_sparql = function
+  | Bgp.Var v -> "?" ^ v
+  | Bgp.Const (Rdf.Term.Uri u) -> "<" ^ u ^ ">"
+  | Bgp.Const (Rdf.Term.Literal s) -> "\"" ^ s ^ "\""
+  | Bgp.Const (Rdf.Term.Bnode b) -> "_:" ^ b
+
+let to_sparql (q : Bgp.t) =
+  let head =
+    String.concat " "
+      (List.map
+         (function
+           | Bgp.Var v -> "?" ^ v
+           | Bgp.Const c -> "# const " ^ Rdf.Term.to_string c)
+         q.head)
+  in
+  let atom (a : Bgp.atom) =
+    Printf.sprintf "  %s %s %s ." (term_to_sparql a.s) (term_to_sparql a.p)
+      (term_to_sparql a.o)
+  in
+  Printf.sprintf "SELECT %s WHERE {\n%s\n}" head
+    (String.concat "\n" (List.map atom q.body))

@@ -1,0 +1,22 @@
+(** Concrete syntax for BGP queries: a practical subset of SPARQL.
+
+    Supported grammar:
+    {v
+    query  ::= prefix* SELECT DISTINCT? var+ WHERE { pattern ( . pattern )* .? }
+    prefix ::= PREFIX name: <uri>
+    pattern::= term term term
+    term   ::= ?var | <uri> | "literal" | name:local | a
+    v}
+    [a] abbreviates [rdf:type]; the [rdf:] and [rdfs:] prefixes are
+    predefined.  Keywords are case-insensitive.  [DISTINCT] is accepted
+    and implicit: BGP answers are sets. *)
+
+val parse : string -> Bgp.t
+(** Parses a query.  Raises [Invalid_argument] with a position-annotated
+    message on syntax errors. *)
+
+val to_sparql : Bgp.t -> string
+(** Renders a BGP query back to SPARQL (full URIs, no prefixes).  Constant
+    head entries — which SPARQL's projection cannot express — are rendered
+    through fresh variables bound by a [BIND]-less convention: they are
+    inlined in a comment.  Queries produced by {!parse} round-trip. *)

@@ -1,0 +1,42 @@
+type t = Bgp.t list  (* invariant: non-empty, same arity, canonical-sorted *)
+
+(* Disjuncts are stored in canonical form so deduplication and comparison
+   only need the cheap structural order. *)
+let of_cqs cqs =
+  match cqs with
+  | [] -> invalid_arg "Ucq.of_cqs: empty union"
+  | first :: _ ->
+      let arity = List.length first.Bgp.head in
+      List.iter
+        (fun (cq : Bgp.t) ->
+          if List.length cq.head <> arity then
+            invalid_arg "Ucq.of_cqs: mismatched head arities")
+        cqs;
+      List.sort_uniq Bgp.raw_compare (List.map Bgp.canonical cqs)
+
+let disjuncts t = t
+
+let cardinal = List.length
+
+let arity = function
+  | [] -> assert false
+  | cq :: _ -> List.length cq.Bgp.head
+
+let union a b = of_cqs (a @ b)
+
+let map f t = of_cqs (List.map f t)
+
+let eval g t =
+  List.concat_map (Bgp.eval g) t
+  |> List.sort_uniq (List.compare Rdf.Term.compare)
+
+let equal a b = List.equal (fun x y -> Bgp.raw_compare x y = 0) a b
+
+let to_string t = String.concat " ∪ " (List.map Bgp.to_string t)
+
+let pp fmt t =
+  List.iteri
+    (fun i cq ->
+      if i > 0 then Format.fprintf fmt "@.";
+      Format.fprintf fmt "∪ %a" Bgp.pp cq)
+    t

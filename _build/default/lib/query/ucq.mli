@@ -1,0 +1,40 @@
+(** Unions of conjunctive queries (UCQs).
+
+    The state-of-the-art reformulation languages turn a CQ into a UCQ; this
+    module represents such unions with syntactic-duplicate elimination
+    (reformulation operates under set semantics). *)
+
+type t
+(** A union of CQs sharing the same head arity. *)
+
+val of_cqs : Bgp.t list -> t
+(** Builds a union, deduplicating CQs up to {!Bgp.canonical}.  Raises
+    [Invalid_argument] on an empty list or mismatched head arities. *)
+
+val disjuncts : t -> Bgp.t list
+(** The member CQs, duplicate-free. *)
+
+val cardinal : t -> int
+(** Number of union terms — the paper's [|q_ref|] statistic (Table 4). *)
+
+val arity : t -> int
+(** Head arity of every member CQ. *)
+
+val union : t -> t -> t
+(** Union of two UCQs (same arity), deduplicated. *)
+
+val map : (Bgp.t -> Bgp.t) -> t -> t
+(** Applies a CQ transformation to every disjunct, re-deduplicating. *)
+
+val eval : Rdf.Graph.t -> t -> Rdf.Term.t list list
+(** Set-semantics union of the {!Bgp.eval} of each disjunct (reference
+    evaluator). *)
+
+val equal : t -> t -> bool
+(** Equality as sets of canonical CQs. *)
+
+val to_string : t -> string
+(** Renders the union as [cq1 ∪ cq2 ∪ …]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line pretty-printer, one disjunct per line. *)

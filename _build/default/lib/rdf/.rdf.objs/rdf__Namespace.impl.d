@@ -1,0 +1,1 @@
+lib/rdf/namespace.ml: Int List Option String Term

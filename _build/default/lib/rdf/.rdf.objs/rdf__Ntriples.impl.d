@@ -1,0 +1,1 @@
+lib/rdf/ntriples.ml: Graph List Printf Schema String Term Triple

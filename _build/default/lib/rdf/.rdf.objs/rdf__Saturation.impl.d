@@ -1,0 +1,1 @@
+lib/rdf/saturation.ml: Graph List Schema Term Triple Vocab

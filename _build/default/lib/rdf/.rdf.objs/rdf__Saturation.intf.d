@@ -1,0 +1,1 @@
+lib/rdf/saturation.mli: Graph Schema Triple

@@ -1,0 +1,1 @@
+lib/rdf/schema.ml: Format Int List Printf Term Triple Vocab

@@ -1,0 +1,1 @@
+lib/rdf/schema.mli: Format Term Triple

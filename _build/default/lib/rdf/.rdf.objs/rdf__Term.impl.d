@@ -1,0 +1,1 @@
+lib/rdf/term.ml: Format Hashtbl Int Map Set String

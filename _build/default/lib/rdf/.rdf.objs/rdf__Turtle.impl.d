@@ -1,0 +1,1 @@
+lib/rdf/turtle.ml: Buffer Graph Hashtbl List Namespace Printf Schema String Term Triple Vocab

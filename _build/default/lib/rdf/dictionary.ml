@@ -1,0 +1,53 @@
+module H = Hashtbl.Make (struct
+  type t = Term.t
+
+  let equal = Term.equal
+  let hash = Term.hash
+end)
+
+type t = {
+  by_value : int H.t;
+  mutable by_code : Term.t array;  (* slot c holds the value of code c *)
+  mutable next : int;
+}
+
+let dummy = Term.Literal ""
+
+let create ?(initial_capacity = 1024) () =
+  {
+    by_value = H.create initial_capacity;
+    by_code = Array.make (max 1 initial_capacity) dummy;
+    next = 0;
+  }
+
+let grow d =
+  let cap = Array.length d.by_code in
+  let a = Array.make (2 * cap) dummy in
+  Array.blit d.by_code 0 a 0 cap;
+  d.by_code <- a
+
+let encode d v =
+  match H.find_opt d.by_value v with
+  | Some c -> c
+  | None ->
+      let c = d.next in
+      if c >= Array.length d.by_code then grow d;
+      d.by_code.(c) <- v;
+      H.add d.by_value v c;
+      d.next <- c + 1;
+      c
+
+let find d v = H.find_opt d.by_value v
+
+let mem_code d c = c >= 0 && c < d.next
+
+let decode d c =
+  if mem_code d c then d.by_code.(c)
+  else invalid_arg (Printf.sprintf "Dictionary.decode: unknown code %d" c)
+
+let cardinal d = d.next
+
+let iter f d =
+  for c = 0 to d.next - 1 do
+    f d.by_code.(c) c
+  done

@@ -1,0 +1,32 @@
+(** Dictionary encoding of RDF values (Section 5.1).
+
+    As in the paper's physical design, the [Triples(s,p,o)] table stores a
+    unique integer code for each distinct value (URI, literal or blank
+    node); the dictionary is indexed both by code and by value.  Codes are
+    dense: the [n]-th distinct value encoded receives code [n-1]. *)
+
+type t
+(** A mutable two-way dictionary. *)
+
+val create : ?initial_capacity:int -> unit -> t
+(** A fresh empty dictionary. *)
+
+val encode : t -> Term.t -> int
+(** [encode d v] returns the code of [v], allocating a fresh code if [v]
+    was never seen. *)
+
+val find : t -> Term.t -> int option
+(** The code of a value, without allocating: [None] if absent. *)
+
+val decode : t -> int -> Term.t
+(** [decode d c] is the value with code [c].  Raises [Invalid_argument] if
+    [c] was never allocated. *)
+
+val mem_code : t -> int -> bool
+(** Whether a code has been allocated. *)
+
+val cardinal : t -> int
+(** Number of distinct values encoded (also the next fresh code). *)
+
+val iter : (Term.t -> int -> unit) -> t -> unit
+(** Iterates over all (value, code) pairs in code order. *)

@@ -1,0 +1,57 @@
+type t = { schema : Schema.t; facts : Triple.Set.t }
+
+let empty = { schema = Schema.empty; facts = Triple.Set.empty }
+
+let make schema facts =
+  List.iter
+    (fun tr ->
+      if Triple.is_schema_constraint tr then
+        invalid_arg
+          ("Graph.make: constraint triple among facts: " ^ Triple.to_string tr))
+    facts;
+  { schema; facts = Triple.Set.of_list facts }
+
+let add_fact tr g =
+  if Triple.is_schema_constraint tr then
+    invalid_arg ("Graph.add_fact: constraint triple: " ^ Triple.to_string tr)
+  else { g with facts = Triple.Set.add tr g.facts }
+
+let add tr g =
+  match Schema.constr_of_triple tr with
+  | Some c -> { g with schema = Schema.add c g.schema }
+  | None -> add_fact tr g
+
+let of_triples trs = List.fold_left (fun g tr -> add tr g) empty trs
+
+let schema g = g.schema
+let facts g = g.facts
+let fact_list g = Triple.Set.elements g.facts
+
+let mem tr g =
+  match Schema.constr_of_triple tr with
+  | Some c -> List.mem c (Schema.constraints g.schema)
+  | None -> Triple.Set.mem tr g.facts
+
+let size g = Triple.Set.cardinal g.facts
+
+let values g =
+  Triple.Set.fold
+    (fun tr acc ->
+      List.fold_left (fun acc t -> Term.Set.add t acc) acc (Triple.terms tr))
+    g.facts Term.Set.empty
+
+let union a b =
+  {
+    schema =
+      Schema.of_constraints
+        (Schema.constraints a.schema @ Schema.constraints b.schema);
+    facts = Triple.Set.union a.facts b.facts;
+  }
+
+let equal a b =
+  Triple.Set.equal a.facts b.facts
+  && Schema.equal_closure a.schema b.schema
+
+let pp fmt g =
+  Schema.pp fmt g.schema;
+  Triple.Set.iter (fun tr -> Format.fprintf fmt "%a@." Triple.pp tr) g.facts

@@ -1,0 +1,54 @@
+(** RDF graphs of the DB fragment (Section 2.3): a set of data triples
+    (class and property assertions) together with an RDF Schema.
+
+    Constraint triples added through {!add} are routed into the schema
+    component; all other triples are facts.  This mirrors the paper's RDF
+    *databases*, whose RDFS constraints are kept apart (in memory) from the
+    [Triples(s,p,o)] fact table. *)
+
+type t
+
+val empty : t
+(** The empty graph (no facts, empty schema). *)
+
+val make : Schema.t -> Triple.t list -> t
+(** [make schema facts] builds a graph.  Raises [Invalid_argument] if a
+    schema-constraint triple appears among [facts]. *)
+
+val of_triples : Triple.t list -> t
+(** Builds a graph from raw triples, sorting constraint triples into the
+    schema and the rest into the facts. *)
+
+val add : Triple.t -> t -> t
+(** Adds one triple, routing RDFS constraints to the schema component. *)
+
+val add_fact : Triple.t -> t -> t
+(** Adds a data triple.  Raises [Invalid_argument] on a constraint triple. *)
+
+val schema : t -> Schema.t
+(** The schema component. *)
+
+val facts : t -> Triple.Set.t
+(** The data triples (explicit assertions only). *)
+
+val fact_list : t -> Triple.t list
+(** {!facts} as a list, in triple order. *)
+
+val mem : Triple.t -> t -> bool
+(** Membership among the explicit facts, or (for constraint triples) in the
+    declared schema. *)
+
+val size : t -> int
+(** Number of explicit facts (schema constraints not counted). *)
+
+val values : t -> Term.Set.t
+(** [Val(G)]: all URIs, blank nodes and literals of the graph's facts. *)
+
+val union : t -> t -> t
+(** Union of facts and concatenation of schemas. *)
+
+val equal : t -> t -> bool
+(** Same facts and same declared schema constraints (set-wise). *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints the schema then the facts, one triple per line. *)

@@ -1,0 +1,77 @@
+(* Tokenizer: splits a triple line into three term tokens, keeping quoted
+   literals and bracketed URIs intact. *)
+let tokenize line =
+  let n = String.length line in
+  let rec skip_ws i = if i < n && (line.[i] = ' ' || line.[i] = '\t') then skip_ws (i + 1) else i in
+  let rec token_end i stop =
+    if i >= n then invalid_arg ("Ntriples: unterminated term in: " ^ line)
+    else if line.[i] = stop then i
+    else token_end (i + 1) stop
+  in
+  let rec bare_end i =
+    if i >= n || line.[i] = ' ' || line.[i] = '\t' then i else bare_end (i + 1)
+  in
+  let read_term i =
+    let i = skip_ws i in
+    if i >= n then None
+    else if line.[i] = '.' && bare_end i = i + 1 then None
+    else
+      let j =
+        match line.[i] with
+        | '<' -> token_end (i + 1) '>' + 1
+        | '"' -> token_end (i + 1) '"' + 1
+        | _ -> bare_end i
+      in
+      Some (String.sub line i (j - i), j)
+  in
+  let rec loop acc i =
+    match read_term i with
+    | None -> List.rev acc
+    | Some (tok, j) -> loop (tok :: acc) j
+  in
+  loop [] 0
+
+let triple_of_line line =
+  let line = String.trim line in
+  if line = "" || line.[0] = '#' then None
+  else
+    match tokenize line with
+    | [ s; p; o ] ->
+        Some (Triple.make (Term.of_string s) (Term.of_string p)
+                (Term.of_string o))
+    | toks ->
+        invalid_arg
+          (Printf.sprintf "Ntriples: expected 3 terms, got %d in: %s"
+             (List.length toks) line)
+
+let line_of_triple = Triple.to_string
+
+let parse_string doc =
+  String.split_on_char '\n' doc
+  |> List.filter_map triple_of_line
+
+let print_string triples =
+  String.concat "\n" (List.map line_of_triple triples) ^ "\n"
+
+let load_file path =
+  let ic = open_in path in
+  let rec loop acc =
+    match input_line ic with
+    | exception End_of_file -> List.rev acc
+    | line -> (
+        match triple_of_line line with
+        | None -> loop acc
+        | Some t -> loop (t :: acc))
+  in
+  let triples = loop [] in
+  close_in ic;
+  Graph.of_triples triples
+
+let save_file path g =
+  let oc = open_out path in
+  let emit t = output_string oc (line_of_triple t ^ "\n") in
+  List.iter
+    (fun c -> emit (Schema.constr_to_triple c))
+    (Schema.constraints (Graph.schema g));
+  Triple.Set.iter emit (Graph.facts g);
+  close_out oc

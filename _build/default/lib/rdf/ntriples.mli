@@ -1,0 +1,26 @@
+(** A reader/writer for an N-Triples-like concrete syntax.
+
+    Lines are [subject predicate object .] with URIs in angle brackets,
+    literals in double quotes and blank nodes as [_:label].  Lines starting
+    with [#] and blank lines are skipped.  This is enough to persist and
+    reload every dataset this library generates. *)
+
+val triple_of_line : string -> Triple.t option
+(** Parses one line; [None] for blank/comment lines.  Raises
+    [Invalid_argument] on a malformed triple line. *)
+
+val line_of_triple : Triple.t -> string
+(** One-line rendering, terminated by [" ."]. *)
+
+val parse_string : string -> Triple.t list
+(** Parses a whole document. *)
+
+val print_string : Triple.t list -> string
+(** Renders triples one per line. *)
+
+val load_file : string -> Graph.t
+(** Loads a graph from a file, routing RDFS constraint triples into the
+    schema. *)
+
+val save_file : string -> Graph.t -> unit
+(** Writes schema constraints then facts to a file. *)

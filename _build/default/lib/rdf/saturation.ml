@@ -1,0 +1,55 @@
+let type_assertions schema subject klass =
+  Term.Set.fold
+    (fun c acc -> Triple.make subject Vocab.rdf_type c :: acc)
+    (Schema.super_classes schema klass) []
+
+let entailed_by_fact schema (tr : Triple.t) =
+  if Triple.is_class_assertion tr then type_assertions schema tr.subj tr.obj
+  else if Triple.is_schema_constraint tr then []
+  else
+    let via_subprop =
+      Term.Set.fold
+        (fun p acc -> Triple.make tr.subj p tr.obj :: acc)
+        (Schema.super_properties schema tr.pred) []
+    in
+    let via_domain =
+      Term.Set.fold
+        (fun c acc -> Triple.make tr.subj Vocab.rdf_type c :: acc)
+        (Schema.domains schema tr.pred) []
+    in
+    let via_range =
+      (* Generalized RDF: range typing also applies to literal objects, in
+         step with the Range reformulation rule. *)
+      Term.Set.fold
+        (fun c acc -> Triple.make tr.obj Vocab.rdf_type c :: acc)
+        (Schema.ranges schema tr.pred) []
+    in
+    via_subprop @ via_domain @ via_range
+
+(* The schema closure makes domain/range/subclass/subproperty information
+   already transitive, so closing one fact yields type assertions whose only
+   further consequences (superclasses) are also already included: a single
+   pass reaches the fixpoint. *)
+let saturate_facts schema facts =
+  Triple.Set.fold
+    (fun tr acc ->
+      List.fold_left
+        (fun acc t -> Triple.Set.add t acc)
+        acc
+        (entailed_by_fact schema tr))
+    facts facts
+
+let saturate g =
+  let schema = Graph.schema g in
+  Graph.make schema (Triple.Set.elements (saturate_facts schema (Graph.facts g)))
+
+let saturate_incremental g_sat new_facts =
+  let schema = Graph.schema g_sat in
+  let delta = saturate_facts schema (Triple.Set.of_list new_facts) in
+  Graph.make schema
+    (Triple.Set.elements (Triple.Set.union (Graph.facts g_sat) delta))
+
+let is_saturated g =
+  Triple.Set.equal (Graph.facts g) (Graph.facts (saturate g))
+
+let entails g t = Triple.Set.mem t (Graph.facts (saturate g))

@@ -1,0 +1,36 @@
+(** Graph saturation: forward-chaining RDFS entailment (Section 2.1).
+
+    The saturation [G∞] of a graph [G] is the fixpoint of the immediate
+    entailment rules of the DB fragment.  With the schema closure already
+    precomputed by {!Schema}, instance-level saturation needs a single pass
+    over the facts:
+
+    - [s rdf:type c] entails [s rdf:type c'] for every superclass [c'];
+    - [s p o] entails [s p' o] for every superproperty [p'];
+    - [s p o] entails [s rdf:type c] for every (closed) domain [c] of [p];
+    - [s p o] entails [o rdf:type c] for every (closed) range [c] of [p]
+      (generalized RDF: this includes literal objects, matching the Range
+      reformulation rule).
+
+    Saturation-based query answering evaluates queries directly against the
+    saturated graph: [q(db∞) = q(saturate db)]. *)
+
+val entailed_by_fact : Schema.t -> Triple.t -> Triple.t list
+(** All facts immediately or transitively entailed by one data triple under
+    the given (closed) schema, excluding the triple itself. *)
+
+val saturate : Graph.t -> Graph.t
+(** [saturate g] is [g∞]: same schema, facts closed under RDFS entailment. *)
+
+val saturate_incremental : Graph.t -> Triple.t list -> Graph.t
+(** [saturate_incremental g_sat new_facts] extends an already saturated
+    graph with new data triples, saturating only the delta.  Requires that
+    [g_sat] is saturated and that [new_facts] contains no constraint
+    triple; the result equals [saturate] of the whole. *)
+
+val is_saturated : Graph.t -> bool
+(** Whether the graph already contains all its entailed facts. *)
+
+val entails : Graph.t -> Triple.t -> bool
+(** [entails g t]: RDF entailment [G |= t] for a data triple [t], decided
+    against the saturation. *)

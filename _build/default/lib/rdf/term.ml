@@ -1,0 +1,49 @@
+type t =
+  | Uri of string
+  | Literal of string
+  | Bnode of string
+
+let tag = function Uri _ -> 0 | Literal _ -> 1 | Bnode _ -> 2
+
+let payload = function Uri s | Literal s | Bnode s -> s
+
+let compare a b =
+  let c = Int.compare (tag a) (tag b) in
+  if c <> 0 then c else String.compare (payload a) (payload b)
+
+let equal a b = tag a = tag b && String.equal (payload a) (payload b)
+
+let hash t = Hashtbl.hash (tag t, payload t)
+
+let uri u = Uri u
+let literal s = Literal s
+let bnode b = Bnode b
+
+let is_uri = function Uri _ -> true | Literal _ | Bnode _ -> false
+let is_literal = function Literal _ -> true | Uri _ | Bnode _ -> false
+let is_bnode = function Bnode _ -> true | Uri _ | Literal _ -> false
+
+let to_string = function
+  | Uri u -> "<" ^ u ^ ">"
+  | Literal s -> "\"" ^ s ^ "\""
+  | Bnode b -> "_:" ^ b
+
+let of_string s =
+  let n = String.length s in
+  if n >= 2 && s.[0] = '<' && s.[n - 1] = '>' then Uri (String.sub s 1 (n - 2))
+  else if n >= 2 && s.[0] = '"' && s.[n - 1] = '"' then
+    Literal (String.sub s 1 (n - 2))
+  else if n >= 2 && s.[0] = '_' && s.[1] = ':' then
+    Bnode (String.sub s 2 (n - 2))
+  else invalid_arg ("Term.of_string: " ^ s)
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+module Ordered = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ordered)
+module Map = Map.Make (Ordered)

@@ -1,0 +1,53 @@
+(** RDF terms: the values appearing in RDF triples.
+
+    Following the RDF specification and Section 2.1 of the paper, the set of
+    values [Val(G)] of an RDF graph is made of URIs (U), blank nodes (B) and
+    literals (L).  Blank nodes denote unknown URI/literal tokens and behave
+    like the variables of incomplete relational databases (V-tables). *)
+
+type t =
+  | Uri of string      (** a uniform resource identifier *)
+  | Literal of string  (** an (un)typed literal constant, e.g. ["1996"] *)
+  | Bnode of string    (** a blank node label, e.g. [_:b1] *)
+
+val compare : t -> t -> int
+(** Total order on terms, suitable for [Set]/[Map] functors.  URIs sort
+    before literals, which sort before blank nodes. *)
+
+val equal : t -> t -> bool
+(** Structural equality on terms. *)
+
+val hash : t -> int
+(** Hash compatible with {!equal}. *)
+
+val uri : string -> t
+(** [uri u] is [Uri u]. *)
+
+val literal : string -> t
+(** [literal s] is [Literal s]. *)
+
+val bnode : string -> t
+(** [bnode b] is [Bnode b]. *)
+
+val is_uri : t -> bool
+(** [is_uri t] holds iff [t] is a URI. *)
+
+val is_literal : t -> bool
+(** [is_literal t] holds iff [t] is a literal. *)
+
+val is_bnode : t -> bool
+(** [is_bnode t] holds iff [t] is a blank node. *)
+
+val to_string : t -> string
+(** Concrete N-Triples-like syntax: URIs between angle brackets, literals
+    between double quotes, blank nodes prefixed by [_:]. *)
+
+val of_string : string -> t
+(** Parses the syntax produced by {!to_string}.  Raises [Invalid_argument]
+    on malformed input. *)
+
+val pp : Format.formatter -> t -> unit
+(** Pretty-printer using the {!to_string} syntax. *)
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

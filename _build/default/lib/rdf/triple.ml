@@ -1,0 +1,37 @@
+type t = { subj : Term.t; pred : Term.t; obj : Term.t }
+
+let make subj pred obj =
+  if not (Term.is_uri pred) then
+    invalid_arg "Triple.make: property must be a URI"
+  else { subj; pred; obj }
+
+let compare a b =
+  let c = Term.compare a.subj b.subj in
+  if c <> 0 then c
+  else
+    let c = Term.compare a.pred b.pred in
+    if c <> 0 then c else Term.compare a.obj b.obj
+
+let equal a b = compare a b = 0
+
+let is_class_assertion t = Term.equal t.pred Vocab.rdf_type
+
+let is_schema_constraint t = Vocab.is_schema_property t.pred
+
+let is_property_assertion t =
+  (not (is_class_assertion t)) && not (is_schema_constraint t)
+
+let terms t = [ t.subj; t.pred; t.obj ]
+
+let to_string t =
+  Printf.sprintf "%s %s %s ."
+    (Term.to_string t.subj) (Term.to_string t.pred) (Term.to_string t.obj)
+
+let pp fmt t =
+  Format.fprintf fmt "%a %a %a" Term.pp t.subj Term.pp t.pred Term.pp t.obj
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)

@@ -1,0 +1,46 @@
+(** RDF triples [s p o]: the subject [s] has property [p] with value [o].
+
+    The DB fragment of RDF "does not restrict RDF graphs in any way"
+    (Section 2.3), so {e generalized} RDF triples are accepted: the only
+    well-formedness requirement kept is that the property is a URI.  In
+    particular a literal may appear in subject position — the RDFS range
+    entailment rule produces such typings, and both saturation and
+    reformulation must agree on them for [q(db∞) = q_ref(db)] to hold. *)
+
+type t = {
+  subj : Term.t;  (** subject: any term (generalized RDF) *)
+  pred : Term.t;  (** property: URI *)
+  obj : Term.t;   (** object: URI, literal or blank node *)
+}
+
+val make : Term.t -> Term.t -> Term.t -> t
+(** [make s p o] builds the triple [s p o].  Raises [Invalid_argument] on a
+    non-URI property. *)
+
+val compare : t -> t -> int
+(** Lexicographic order on (subject, property, object). *)
+
+val equal : t -> t -> bool
+(** Component-wise equality. *)
+
+val is_class_assertion : t -> bool
+(** Holds for [s rdf:type o] triples (Figure 2, class assertion). *)
+
+val is_schema_constraint : t -> bool
+(** Holds for triples whose property is one of the four RDFS constraint
+    properties (Figure 2, bottom). *)
+
+val is_property_assertion : t -> bool
+(** Holds for data triples that are neither class assertions nor schema
+    constraints, i.e. plain [p(s, o)] facts. *)
+
+val terms : t -> Term.t list
+(** [terms t] is the list [[subj; pred; obj]]. *)
+
+val to_string : t -> string
+(** N-Triples-like rendering: [<s> <p> <o> .] *)
+
+val pp : Format.formatter -> t -> unit
+(** Pretty-printer using the {!to_string} syntax (without trailing dot). *)
+
+module Set : Set.S with type elt = t

@@ -1,0 +1,262 @@
+(* ---- tokenizer ---- *)
+
+type token =
+  | Iri of string
+  | Pname of string * string   (* prefix, local *)
+  | Blank of string
+  | Lit of string
+  | A
+  | Prefix_kw
+  | Dot
+  | Semi
+  | Comma
+  | Colon_name of string       (* "name:" in a @prefix directive *)
+
+let fail line msg =
+  invalid_arg (Printf.sprintf "Turtle: line %d: %s" line msg)
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 in
+  let push t = toks := (t, !line) :: !toks in
+  let is_name c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+    || c = '_' || c = '-' || c = '.'
+  in
+  (* local names may contain dots but not end with one (the statement dot) *)
+  let trim_name s =
+    let l = String.length s in
+    if l > 0 && s.[l - 1] = '.' then (String.sub s 0 (l - 1), true)
+    else (s, false)
+  in
+  let rec scan i =
+    if i >= n then ()
+    else
+      let c = src.[i] in
+      if c = '\n' then (incr line; scan (i + 1))
+      else if c = ' ' || c = '\t' || c = '\r' then scan (i + 1)
+      else if c = '#' then begin
+        let rec eol j = if j < n && src.[j] <> '\n' then eol (j + 1) else j in
+        scan (eol i)
+      end
+      else if c = '.' then (push Dot; scan (i + 1))
+      else if c = ';' then (push Semi; scan (i + 1))
+      else if c = ',' then (push Comma; scan (i + 1))
+      else if c = '<' then begin
+        let rec fin j =
+          if j >= n then fail !line "unterminated IRI"
+          else if src.[j] = '>' then j
+          else fin (j + 1)
+        in
+        let j = fin (i + 1) in
+        push (Iri (String.sub src (i + 1) (j - i - 1)));
+        scan (j + 1)
+      end
+      else if c = '"' then begin
+        let buf = Buffer.create 16 in
+        let rec fin j =
+          if j >= n then fail !line "unterminated literal"
+          else if src.[j] = '\\' && j + 1 < n then begin
+            (match src.[j + 1] with
+            | 'n' -> Buffer.add_char buf '\n'
+            | 't' -> Buffer.add_char buf '\t'
+            | '"' -> Buffer.add_char buf '"'
+            | '\\' -> Buffer.add_char buf '\\'
+            | other -> fail !line (Printf.sprintf "bad escape \\%c" other));
+            fin (j + 2)
+          end
+          else if src.[j] = '"' then j
+          else (Buffer.add_char buf src.[j]; fin (j + 1))
+        in
+        let j = fin (i + 1) in
+        (if j + 1 < n && (src.[j + 1] = '^' || src.[j + 1] = '@') then
+           fail !line "datatyped/language-tagged literals are not supported");
+        push (Lit (Buffer.contents buf));
+        scan (j + 1)
+      end
+      else if c = '_' && i + 1 < n && src.[i + 1] = ':' then begin
+        let rec fin j = if j < n && is_name src.[j] then fin (j + 1) else j in
+        let j = fin (i + 2) in
+        let name, had_dot = trim_name (String.sub src (i + 2) (j - i - 2)) in
+        push (Blank name);
+        if had_dot then push Dot;
+        scan j
+      end
+      else if c = '@' then begin
+        let rec fin j = if j < n && is_name src.[j] then fin (j + 1) else j in
+        let j = fin (i + 1) in
+        let word = String.sub src (i + 1) (j - i - 1) in
+        if String.lowercase_ascii word = "prefix" then (push Prefix_kw; scan j)
+        else fail !line ("unsupported directive @" ^ word)
+      end
+      else if c = '[' || c = '(' then
+        fail !line "anonymous blank nodes and collections are not supported"
+      else if is_name c || c = ':' then begin
+        let rec fin j = if j < n && (is_name src.[j] || src.[j] = ':') then fin (j + 1) else j in
+        let j = fin i in
+        let word = String.sub src i (j - i) in
+        match String.index_opt word ':' with
+        | Some k ->
+            let prefix = String.sub word 0 k in
+            let local = String.sub word (k + 1) (String.length word - k - 1) in
+            let local, had_dot = trim_name local in
+            if local = "" then push (Colon_name prefix)
+            else push (Pname (prefix, local));
+            if had_dot then push Dot;
+            scan j
+        | None ->
+            let word, had_dot = trim_name word in
+            if word = "a" then push A
+            else fail !line ("unexpected word: " ^ word);
+            if had_dot then push Dot;
+            scan j
+      end
+      else fail !line (Printf.sprintf "unexpected character %c" c)
+  in
+  scan 0;
+  List.rev !toks
+
+(* ---- parser ---- *)
+
+let parse src =
+  let toks = tokenize src in
+  let prefixes = Hashtbl.create 8 in
+  Hashtbl.replace prefixes "rdf" "http://www.w3.org/1999/02/22-rdf-syntax-ns#";
+  Hashtbl.replace prefixes "rdfs" "http://www.w3.org/2000/01/rdf-schema#";
+  let resolve line p local =
+    match Hashtbl.find_opt prefixes p with
+    | Some base -> Term.uri (base ^ local)
+    | None -> fail line ("undeclared prefix: " ^ p)
+  in
+  let term line = function
+    | Iri i -> Term.uri i
+    | Pname (p, local) -> resolve line p local
+    | Blank b -> Term.bnode b
+    | Lit s -> Term.literal s
+    | A -> Vocab.rdf_type
+    | Prefix_kw | Dot | Semi | Comma | Colon_name _ ->
+        fail line "expected a term"
+  in
+  let triples = ref [] in
+  let rec doc = function
+    | [] -> ()
+    | (Prefix_kw, line) :: rest -> (
+        match rest with
+        | (Colon_name name, _) :: (Iri base, _) :: (Dot, _) :: rest' ->
+            Hashtbl.replace prefixes name base;
+            doc rest'
+        | _ -> fail line "malformed @prefix directive")
+    | (subj_tok, line) :: rest ->
+        let subj = term line subj_tok in
+        predicate_list subj rest
+  and predicate_list subj = function
+    | (verb_tok, line) :: rest ->
+        let verb = term line verb_tok in
+        if not (Term.is_uri verb) then fail line "predicate must be an IRI";
+        object_list subj verb rest
+    | [] -> fail 0 "unexpected end of input in predicate list"
+  and object_list subj verb = function
+    | (obj_tok, line) :: rest -> (
+        let obj = term line obj_tok in
+        triples := Triple.make subj verb obj :: !triples;
+        match rest with
+        | (Comma, _) :: rest' -> object_list subj verb rest'
+        | (Semi, _) :: (Dot, _) :: rest' -> doc rest'  (* trailing ; *)
+        | (Semi, _) :: rest' -> predicate_list subj rest'
+        | (Dot, _) :: rest' -> doc rest'
+        | (_, line') :: _ ->
+            fail line' "expected ',', ';' or '.' after object"
+        | [] -> fail line "unterminated statement")
+    | [] -> fail 0 "unexpected end of input in object list"
+  in
+  doc toks;
+  List.rev !triples
+
+(* ---- writer ---- *)
+
+let escape_literal s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let render_term ns = function
+  | Term.Literal s -> "\"" ^ escape_literal s ^ "\""
+  | Term.Bnode b -> "_:" ^ b
+  | Term.Uri _ as t -> Namespace.compact ns t
+
+let render_verb ns p =
+  if Term.equal p Vocab.rdf_type then "a" else render_term ns p
+
+let print ?(namespaces = Namespace.default) triples =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (prefix, base) ->
+      Buffer.add_string buf
+        (Printf.sprintf "@prefix %s: <%s> .\n" prefix base))
+    (List.rev (Namespace.prefixes namespaces));
+  if Namespace.prefixes namespaces <> [] then Buffer.add_char buf '\n';
+  (* group by subject, then by predicate, preserving first-seen order *)
+  let by_subject = Hashtbl.create 64 in
+  let subject_order = ref [] in
+  List.iter
+    (fun (t : Triple.t) ->
+      (match Hashtbl.find_opt by_subject t.subj with
+      | None ->
+          subject_order := t.subj :: !subject_order;
+          Hashtbl.add by_subject t.subj [ (t.pred, t.obj) ]
+      | Some pairs -> Hashtbl.replace by_subject t.subj ((t.pred, t.obj) :: pairs)))
+    triples;
+  List.iter
+    (fun subj ->
+      let pairs = List.rev (Hashtbl.find by_subject subj) in
+      let preds =
+        List.fold_left
+          (fun acc (p, o) ->
+            match List.assoc_opt p acc with
+            | None -> acc @ [ (p, [ o ]) ]
+            | Some objs ->
+                List.map
+                  (fun (p', objs') ->
+                    if Term.equal p' p then (p', objs' @ [ o ]) else (p', objs'))
+                  (ignore objs; acc))
+          [] pairs
+      in
+      Buffer.add_string buf (render_term namespaces subj);
+      List.iteri
+        (fun i (p, objs) ->
+          if i > 0 then Buffer.add_string buf " ;\n   ";
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf (render_verb namespaces p);
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf
+            (String.concat ", "
+               (List.map (render_term namespaces) objs)))
+        preds;
+      Buffer.add_string buf " .\n")
+    (List.rev !subject_order);
+  Buffer.contents buf
+
+let load_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  Graph.of_triples (parse src)
+
+let save_file ?namespaces path g =
+  let triples =
+    List.map Schema.constr_to_triple (Schema.constraints (Graph.schema g))
+    @ Triple.Set.elements (Graph.facts g)
+  in
+  let oc = open_out path in
+  output_string oc (print ?namespaces triples);
+  close_out oc

@@ -1,0 +1,36 @@
+(** A reader/writer for a pragmatic Turtle subset.
+
+    Supported syntax:
+    {v
+    doc       ::= (directive | statement)*
+    directive ::= @prefix name: <iri> .
+    statement ::= subject predlist .
+    predlist  ::= verb objlist ( ; verb objlist )* ;?
+    objlist   ::= object ( , object )*
+    verb      ::= a | iri | prefixed-name
+    subject   ::= iri | prefixed-name | _:label
+    object    ::= iri | prefixed-name | _:label | "literal"
+    v}
+    [#] comments run to end of line.  Not supported (raise
+    [Invalid_argument]): collections, anonymous blank nodes ([ ]),
+    datatyped/language-tagged literals, multi-line strings and numeric
+    abbreviations — the subset is exactly what {!print} emits, so writer
+    output always reloads.
+
+    The writer groups triples by subject with [;]-chained predicates and
+    [,]-chained objects, and renders IRIs compactly through a
+    {!Namespace} table. *)
+
+val parse : string -> Triple.t list
+(** Parses a document.  Raises [Invalid_argument] with a line-annotated
+    message on unsupported or malformed syntax. *)
+
+val print : ?namespaces:Namespace.t -> Triple.t list -> string
+(** Renders triples, emitting [@prefix] directives for the namespace
+    table's entries (default: {!Namespace.default}). *)
+
+val load_file : string -> Graph.t
+(** Loads a Turtle file into a graph (constraint triples become schema). *)
+
+val save_file : ?namespaces:Namespace.t -> string -> Graph.t -> unit
+(** Writes schema constraints then facts as Turtle. *)

@@ -1,0 +1,16 @@
+let rdf_ns = "http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+let rdfs_ns = "http://www.w3.org/2000/01/rdf-schema#"
+
+let rdf_type = Term.uri (rdf_ns ^ "type")
+let rdfs_subclassof = Term.uri (rdfs_ns ^ "subClassOf")
+let rdfs_subpropertyof = Term.uri (rdfs_ns ^ "subPropertyOf")
+let rdfs_domain = Term.uri (rdfs_ns ^ "domain")
+let rdfs_range = Term.uri (rdfs_ns ^ "range")
+
+let is_schema_property t =
+  Term.equal t rdfs_subclassof
+  || Term.equal t rdfs_subpropertyof
+  || Term.equal t rdfs_domain
+  || Term.equal t rdfs_range
+
+let is_builtin t = Term.equal t rdf_type || is_schema_property t

@@ -1,0 +1,27 @@
+(** Built-in RDF and RDFS vocabulary used by the DB fragment of RDF.
+
+    The DB fragment (Section 2.3) restricts entailment to the four RDFS
+    constraint kinds of Figure 2: [rdfs:subClassOf], [rdfs:subPropertyOf],
+    [rdfs:domain] and [rdfs:range], plus the [rdf:type] assertion
+    property. *)
+
+val rdf_type : Term.t
+(** [rdf:type] — class membership assertion property. *)
+
+val rdfs_subclassof : Term.t
+(** [rdfs:subClassOf] — subclass constraint property. *)
+
+val rdfs_subpropertyof : Term.t
+(** [rdfs:subPropertyOf] — subproperty constraint property. *)
+
+val rdfs_domain : Term.t
+(** [rdfs:domain] — domain typing constraint property. *)
+
+val rdfs_range : Term.t
+(** [rdfs:range] — range typing constraint property. *)
+
+val is_schema_property : Term.t -> bool
+(** Holds for the four RDFS constraint properties (not for [rdf:type]). *)
+
+val is_builtin : Term.t -> bool
+(** Holds for the four RDFS constraint properties and [rdf:type]. *)

@@ -1,0 +1,1 @@
+lib/reformulation/reformulate.ml: Array Bgp Hashtbl List Printf Query Queue Rdf Rules Set String Ucq

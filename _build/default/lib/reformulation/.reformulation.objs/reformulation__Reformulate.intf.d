@@ -1,0 +1,1 @@
+lib/reformulation/reformulate.mli: Query Rdf

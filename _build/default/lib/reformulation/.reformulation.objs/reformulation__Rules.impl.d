@@ -1,0 +1,1 @@
+lib/reformulation/rules.ml: Bgp List Query Rdf

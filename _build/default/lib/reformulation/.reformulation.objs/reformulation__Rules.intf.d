@@ -1,0 +1,1 @@
+lib/reformulation/rules.mli: Query Rdf

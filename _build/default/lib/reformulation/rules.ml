@@ -1,0 +1,86 @@
+open Query
+
+exception Unsupported_atom of string
+
+let applicable (a : Bgp.atom) =
+  match a.p with
+  | Bgp.Const c when Rdf.Vocab.is_schema_property c ->
+      raise
+        (Unsupported_atom
+           ("schema-constraint property in query atom: " ^ Rdf.Term.to_string c))
+  | Bgp.Const _ | Bgp.Var _ -> ()
+
+type step = { rule : string; result : Bgp.t }
+
+(* Replace the [i]-th atom of [q] by [a]. *)
+let replace_atom (q : Bgp.t) i a =
+  { q with Bgp.body = List.mapi (fun j b -> if j = i then a else b) q.Bgp.body }
+
+let set_fold f set acc = Rdf.Term.Set.fold f set acc
+
+let one_step schema ~fresh (q : Bgp.t) =
+  List.iteri (fun _ a -> applicable a) q.body;
+  let steps = ref [] in
+  let push rule result = steps := { rule; result } :: !steps in
+  List.iteri
+    (fun i (a : Bgp.atom) ->
+      match a.p with
+      | Bgp.Const p when Rdf.Term.equal p Rdf.Vocab.rdf_type -> (
+          match a.o with
+          | Bgp.Const klass ->
+              (* SubClass *)
+              ignore
+                (set_fold
+                   (fun c' () ->
+                     push "SubClass"
+                       (replace_atom q i (Bgp.atom a.s a.p (Bgp.Const c'))))
+                   (Rdf.Schema.sub_classes schema klass)
+                   ());
+              (* Domain *)
+              ignore
+                (set_fold
+                   (fun prop () ->
+                     let y = Bgp.Var (fresh ()) in
+                     push "Domain"
+                       (replace_atom q i (Bgp.atom a.s (Bgp.Const prop) y)))
+                   (Rdf.Schema.properties_with_domain schema klass)
+                   ());
+              (* Range *)
+              ignore
+                (set_fold
+                   (fun prop () ->
+                     let y = Bgp.Var (fresh ()) in
+                     push "Range"
+                       (replace_atom q i (Bgp.atom y (Bgp.Const prop) a.s)))
+                   (Rdf.Schema.properties_with_range schema klass)
+                   ())
+          | Bgp.Var y ->
+              (* ClassInstantiation: substitute the class variable in the
+                 whole CQ, head included. *)
+              ignore
+                (set_fold
+                   (fun c () ->
+                     push "ClassInstantiation" (Bgp.apply_subst [ (y, c) ] q))
+                   (Rdf.Schema.classes schema)
+                   ()))
+      | Bgp.Const p ->
+          (* SubProperty *)
+          ignore
+            (set_fold
+               (fun p' () ->
+                 push "SubProperty"
+                   (replace_atom q i (Bgp.atom a.s (Bgp.Const p') a.o)))
+               (Rdf.Schema.sub_properties schema p)
+               ())
+      | Bgp.Var v ->
+          (* PropertyInstantiation over schema properties and rdf:type. *)
+          ignore
+            (set_fold
+               (fun p () ->
+                 push "PropertyInstantiation" (Bgp.apply_subst [ (v, p) ] q))
+               (Rdf.Schema.properties schema)
+               ());
+          push "PropertyInstantiation"
+            (Bgp.apply_subst [ (v, Rdf.Vocab.rdf_type) ] q))
+    q.body;
+  !steps

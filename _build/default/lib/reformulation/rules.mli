@@ -1,0 +1,44 @@
+(** The reformulation rule set of the DB fragment of RDF (Section 2.3).
+
+    [Reformulate(q, db)] applies backward-chaining rules exhaustively,
+    producing the union of BGP queries whose direct evaluation against the
+    non-saturated database retrieves the complete answer set.  One rule
+    application rewrites a single atom of a CQ (possibly substituting a
+    class or property variable throughout the CQ, head included, as in
+    Example 4 where [q(x,y) :- x rdf:type y] yields [q(x,Book) :- …]).
+
+    The rules, for a schema [S]:
+    - {b [SubClass]}: atom [s rdf:type c], constraint [c' ⊑ c] in the
+      closure ⟹ atom [s rdf:type c'];
+    - {b [Domain]}: atom [s rdf:type c], property [p] whose closed domain
+      contains [c] ⟹ atom [s p y] with [y] fresh;
+    - {b [Range]}: atom [s rdf:type c], property [p] whose closed range
+      contains [c] ⟹ atom [y p s] with [y] fresh;
+    - {b [SubProperty]}: atom [s p o], constraint [p' ⊑ p] ⟹ atom
+      [s p' o];
+    - {b [ClassInstantiation]}: atom [s rdf:type y] with [y] a variable ⟹
+      substitute [y ↦ c] in the whole CQ, for every class [c] of [S];
+    - {b [PropertyInstantiation]}: atom [s v o] with [v] a variable ⟹
+      substitute [v ↦ p] for every property [p] of [S], and [v ↦ rdf:type].
+
+    Queries over the four RDFS constraint properties themselves are outside
+    the supported fragment (the paper's experiments store constraints apart
+    from the [Triples] table); {!applicable} rejects them. *)
+
+exception Unsupported_atom of string
+(** Raised when a query atom uses an RDFS constraint property, which the
+    data-level reformulation fragment does not cover. *)
+
+val applicable : Query.Bgp.atom -> unit
+(** Checks that an atom is in the supported fragment.
+    @raise Unsupported_atom otherwise. *)
+
+type step = {
+  rule : string;        (** rule name, for tracing *)
+  result : Query.Bgp.t; (** the rewritten CQ *)
+}
+
+val one_step : Rdf.Schema.t -> fresh:(unit -> string) -> Query.Bgp.t -> step list
+(** All CQs obtained from the given CQ by one rule application on one atom.
+    [fresh] supplies globally fresh variable names for Domain/Range rules.
+    @raise Unsupported_atom on out-of-fragment atoms. *)

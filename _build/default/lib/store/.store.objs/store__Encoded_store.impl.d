@@ -1,0 +1,1 @@
+lib/store/encoded_store.ml: Hashtbl Intvec List Option Rdf

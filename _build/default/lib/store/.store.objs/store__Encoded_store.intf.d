@@ -1,0 +1,1 @@
+lib/store/encoded_store.mli: Intvec Rdf

@@ -1,0 +1,1 @@
+lib/store/snapshot.ml: Array Encoded_store Marshal Rdf String

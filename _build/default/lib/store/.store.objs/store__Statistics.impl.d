@@ -1,0 +1,1 @@
+lib/store/statistics.ml: Bgp Encoded_store Hashtbl Intvec List Query String Ucq

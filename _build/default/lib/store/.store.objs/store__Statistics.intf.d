@@ -1,0 +1,1 @@
+lib/store/statistics.mli: Encoded_store Query

@@ -1,0 +1,181 @@
+type pattern = { ps : int option; pp : int option; po : int option }
+
+type t = {
+  schema : Rdf.Schema.t;
+  dict : Rdf.Dictionary.t;
+  col_s : Intvec.t;
+  col_p : Intvec.t;
+  col_o : Intvec.t;
+  idx_s : (int, Intvec.t) Hashtbl.t;
+  idx_p : (int, Intvec.t) Hashtbl.t;
+  idx_o : (int, Intvec.t) Hashtbl.t;
+  idx_sp : (int, Intvec.t) Hashtbl.t;
+  idx_po : (int, Intvec.t) Hashtbl.t;
+  idx_so : (int, Intvec.t) Hashtbl.t;
+  ids : (int * int * int, int) Hashtbl.t;  (* triple -> id, duplicate guard *)
+  mutable version : int;
+}
+
+(* Pair keys are packed into one 62-bit integer; codes stay far below 2^31
+   at the scales this library targets. *)
+let pack a b =
+  assert (a < 0x4000_0000 && b < 0x4000_0000);
+  (a lsl 31) lor b
+
+let create schema =
+  {
+    schema;
+    dict = Rdf.Dictionary.create ();
+    col_s = Intvec.create ~capacity:1024 ();
+    col_p = Intvec.create ~capacity:1024 ();
+    col_o = Intvec.create ~capacity:1024 ();
+    idx_s = Hashtbl.create 1024;
+    idx_p = Hashtbl.create 64;
+    idx_o = Hashtbl.create 1024;
+    idx_sp = Hashtbl.create 1024;
+    idx_po = Hashtbl.create 1024;
+    idx_so = Hashtbl.create 1024;
+    ids = Hashtbl.create 1024;
+    version = 0;
+  }
+
+let schema t = t.schema
+let dictionary t = t.dict
+let size t = Intvec.length t.col_s
+let version t = t.version
+
+let posting tbl key =
+  match Hashtbl.find_opt tbl key with
+  | Some v -> v
+  | None ->
+      let v = Intvec.create ~capacity:4 () in
+      Hashtbl.add tbl key v;
+      v
+
+let insert_code t s p o =
+  if not (Hashtbl.mem t.ids (s, p, o)) then begin
+    t.version <- t.version + 1;
+    let id = size t in
+    Hashtbl.add t.ids (s, p, o) id;
+    Intvec.push t.col_s s;
+    Intvec.push t.col_p p;
+    Intvec.push t.col_o o;
+    Intvec.push (posting t.idx_s s) id;
+    Intvec.push (posting t.idx_p p) id;
+    Intvec.push (posting t.idx_o o) id;
+    Intvec.push (posting t.idx_sp (pack s p)) id;
+    Intvec.push (posting t.idx_po (pack p o)) id;
+    Intvec.push (posting t.idx_so (pack s o)) id
+  end
+
+let insert t (tr : Rdf.Triple.t) =
+  if Rdf.Triple.is_schema_constraint tr then
+    invalid_arg
+      ("Encoded_store.insert: constraint triple: " ^ Rdf.Triple.to_string tr);
+  let enc = Rdf.Dictionary.encode t.dict in
+  insert_code t (enc tr.subj) (enc tr.pred) (enc tr.obj)
+
+let of_graph g =
+  let t = create (Rdf.Graph.schema g) in
+  Rdf.Triple.Set.iter (insert t) (Rdf.Graph.facts g);
+  t
+
+let encode_term t term = Rdf.Dictionary.find t.dict term
+
+let subject t i = Intvec.get t.col_s i
+let property t i = Intvec.get t.col_p i
+let obj t i = Intvec.get t.col_o i
+
+let empty_vec = Intvec.create ~capacity:1 ()
+
+let find_or_empty tbl key =
+  match Hashtbl.find_opt tbl key with Some v -> v | None -> empty_vec
+
+let all_ids t =
+  let v = Intvec.create ~capacity:(max 1 (size t)) () in
+  for i = 0 to size t - 1 do
+    Intvec.push v i
+  done;
+  v
+
+let matching t pat =
+  match (pat.ps, pat.pp, pat.po) with
+  | None, None, None -> all_ids t
+  | Some s, None, None -> find_or_empty t.idx_s s
+  | None, Some p, None -> find_or_empty t.idx_p p
+  | None, None, Some o -> find_or_empty t.idx_o o
+  | Some s, Some p, None -> find_or_empty t.idx_sp (pack s p)
+  | None, Some p, Some o -> find_or_empty t.idx_po (pack p o)
+  | Some s, None, Some o -> find_or_empty t.idx_so (pack s o)
+  | Some s, Some p, Some o -> (
+      match Hashtbl.find_opt t.ids (s, p, o) with
+      | Some id -> Intvec.of_array [| id |]
+      | None -> empty_vec)
+
+let count t pat =
+  match (pat.ps, pat.pp, pat.po) with
+  | None, None, None -> size t
+  | Some _, Some _, Some _ ->
+      (match (pat.ps, pat.pp, pat.po) with
+      | Some s, Some p, Some o -> if Hashtbl.mem t.ids (s, p, o) then 1 else 0
+      | _ -> assert false)
+  | _ -> Intvec.length (matching t pat)
+
+let mem_code t s p o = Hashtbl.mem t.ids (s, p, o)
+
+let decode_triple t i =
+  let d = Rdf.Dictionary.decode t.dict in
+  Rdf.Triple.make (d (subject t i)) (d (property t i)) (d (obj t i))
+
+let to_graph t =
+  let facts = ref [] in
+  for i = size t - 1 downto 0 do
+    facts := decode_triple t i :: !facts
+  done;
+  Rdf.Graph.make t.schema !facts
+
+(* Code-level saturation: the schema closure is translated to codes once,
+   then each stored triple contributes its entailments directly, sharing
+   the dictionary with the source store.  A single pass reaches the
+   fixpoint because {!Rdf.Schema} precloses the constraint graph (same
+   argument as {!Rdf.Saturation}). *)
+let saturate t =
+  let t' =
+    {
+      (create t.schema) with
+      dict = t.dict;
+    }
+  in
+  let enc term = Rdf.Dictionary.encode t.dict term in
+  let type_code = enc Rdf.Vocab.rdf_type in
+  let codes_of set = List.map enc (Rdf.Term.Set.elements set) in
+  let supers_of_class = Hashtbl.create 64 in
+  Rdf.Term.Set.iter
+    (fun c ->
+      Hashtbl.replace supers_of_class (enc c)
+        (codes_of (Rdf.Schema.super_classes t.schema c)))
+    (Rdf.Schema.classes t.schema);
+  let prop_rules = Hashtbl.create 64 in
+  Rdf.Term.Set.iter
+    (fun p ->
+      Hashtbl.replace prop_rules (enc p)
+        ( codes_of (Rdf.Schema.super_properties t.schema p),
+          codes_of (Rdf.Schema.domains t.schema p),
+          codes_of (Rdf.Schema.ranges t.schema p) ))
+    (Rdf.Schema.properties t.schema);
+  let lookup tbl k = Option.value ~default:[] (Hashtbl.find_opt tbl k) in
+  for i = 0 to size t - 1 do
+    let s = subject t i and p = property t i and o = obj t i in
+    insert_code t' s p o;
+    if p = type_code then
+      List.iter (fun c -> insert_code t' s type_code c)
+        (lookup supers_of_class o)
+    else
+      match Hashtbl.find_opt prop_rules p with
+      | None -> ()
+      | Some (supers, domains, ranges) ->
+          List.iter (fun p' -> insert_code t' s p' o) supers;
+          List.iter (fun c -> insert_code t' s type_code c) domains;
+          List.iter (fun c -> insert_code t' o type_code c) ranges
+  done;
+  t'

@@ -1,0 +1,76 @@
+(** The dictionary-encoded triple table of Section 5.1.
+
+    RDF facts live in a [Triples(s, p, o)] table whose values are integer
+    codes (see {!Rdf.Dictionary}); the table is indexed by all permutations
+    of the [s, p, o] columns, realized here as posting-list indexes over
+    every bound-position combination ([s], [p], [o], [sp], [po], [so]) plus
+    a full-triple membership check — the access paths a six-fold-indexed
+    RDBMS table offers.  RDFS constraints are {e not} stored in the table;
+    they are kept apart in the accompanying {!Rdf.Schema}, exactly as in
+    the paper's experimental setup. *)
+
+type t
+
+type pattern = {
+  ps : int option;  (** subject code, [None] for a wildcard *)
+  pp : int option;  (** property code *)
+  po : int option;  (** object code *)
+}
+(** A triple-pattern access: bound positions carry codes. *)
+
+val create : Rdf.Schema.t -> t
+(** An empty store with the given schema. *)
+
+val of_graph : Rdf.Graph.t -> t
+(** Loads a graph's facts (the explicit triples only). *)
+
+val insert : t -> Rdf.Triple.t -> unit
+(** Inserts one data triple (encoding its values), skipping duplicates.
+    Raises [Invalid_argument] on an RDFS-constraint triple. *)
+
+val insert_code : t -> int -> int -> int -> unit
+(** Inserts an already-encoded triple, skipping duplicates. *)
+
+val schema : t -> Rdf.Schema.t
+(** The schema associated with the stored facts. *)
+
+val dictionary : t -> Rdf.Dictionary.t
+(** The value dictionary. *)
+
+val size : t -> int
+(** Number of stored triples. *)
+
+val version : t -> int
+(** Monotone modification counter: bumped on every effective insert.
+    Derived structures (statistics caches) use it to detect staleness. *)
+
+val encode_term : t -> Rdf.Term.t -> int option
+(** The code of a term, [None] if the term does not occur. *)
+
+val subject : t -> int -> int
+(** Subject code of the [i]-th triple. *)
+
+val property : t -> int -> int
+(** Property code of the [i]-th triple. *)
+
+val obj : t -> int -> int
+(** Object code of the [i]-th triple. *)
+
+val matching : t -> pattern -> Intvec.t
+(** Triple ids matching a pattern, served from the best index.  The result
+    must not be mutated.  Patterns with all three positions bound return a
+    0- or 1-element vector. *)
+
+val count : t -> pattern -> int
+(** Number of matching triples — an O(1) index lookup for every pattern
+    shape (the statistics reformulation optimization relies on). *)
+
+val mem_code : t -> int -> int -> int -> bool
+(** Membership of an encoded triple. *)
+
+val saturate : t -> t
+(** A saturated copy of the store (same dictionary object): the physical
+    design of saturation-based query answering. *)
+
+val to_graph : t -> Rdf.Graph.t
+(** Decodes the store back into a graph (tests, small stores only). *)

@@ -1,0 +1,28 @@
+(** Growable integer vectors: the backing storage for triple tables,
+    posting lists and materialized relations.  Amortized O(1) append. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** A fresh empty vector. *)
+
+val length : t -> int
+(** Number of elements. *)
+
+val push : t -> int -> unit
+(** Appends an element. *)
+
+val get : t -> int -> int
+(** [get v i] is the [i]-th element.  Bounds-checked. *)
+
+val set : t -> int -> int -> unit
+(** [set v i x] overwrites the [i]-th element.  Bounds-checked. *)
+
+val iter : (int -> unit) -> t -> unit
+(** Iterates in index order. *)
+
+val to_array : t -> int array
+(** A fresh array copy of the contents. *)
+
+val of_array : int array -> t
+(** A vector holding a copy of the array. *)

@@ -1,0 +1,55 @@
+(* The snapshot payload avoids marshaling the store's hashtable indexes
+   (they rebuild quickly and marshal poorly): only the schema constraints,
+   the dictionary contents and the three code columns are written. *)
+
+let format_tag = "rqa-snapshot-v1"
+
+type payload = {
+  constraints : Rdf.Schema.constr list;
+  dictionary : (Rdf.Term.t * int) array;  (* in code order *)
+  triples : (int * int * int) array;
+}
+
+let save path store =
+  let dict = Encoded_store.dictionary store in
+  let dictionary = Array.make (Rdf.Dictionary.cardinal dict) (Rdf.Term.Literal "", 0) in
+  Rdf.Dictionary.iter (fun term code -> dictionary.(code) <- (term, code)) dict;
+  let n = Encoded_store.size store in
+  let triples =
+    Array.init n (fun i ->
+        ( Encoded_store.subject store i,
+          Encoded_store.property store i,
+          Encoded_store.obj store i ))
+  in
+  let payload =
+    {
+      constraints = Rdf.Schema.constraints (Encoded_store.schema store);
+      dictionary;
+      triples;
+    }
+  in
+  let oc = open_out_bin path in
+  output_string oc format_tag;
+  Marshal.to_channel oc payload [];
+  close_out oc
+
+let load path =
+  let ic = open_in_bin path in
+  let tag = really_input_string ic (String.length format_tag) in
+  if not (String.equal tag format_tag) then begin
+    close_in ic;
+    invalid_arg ("Snapshot.load: bad format tag in " ^ path)
+  end;
+  let payload : payload = Marshal.from_channel ic in
+  close_in ic;
+  let store = Encoded_store.create (Rdf.Schema.of_constraints payload.constraints) in
+  let dict = Encoded_store.dictionary store in
+  Array.iter
+    (fun (term, code) ->
+      let assigned = Rdf.Dictionary.encode dict term in
+      if assigned <> code then
+        invalid_arg "Snapshot.load: dictionary codes out of order")
+    payload.dictionary;
+  Array.iter (fun (s, p, o) -> Encoded_store.insert_code store s p o)
+    payload.triples;
+  store

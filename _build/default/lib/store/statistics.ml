@@ -1,0 +1,198 @@
+open Query
+
+type global = {
+  mutable distinct_subjects : int;
+  mutable distinct_properties : int;
+  mutable distinct_objects : int;
+  mutable computed : bool;
+}
+
+type t = {
+  store : Encoded_store.t;
+  ndv_cache : (int * int, int) Hashtbl.t;  (* (prop, 0=subj|1=obj) -> ndv *)
+  cq_cache : (string, float) Hashtbl.t;
+  global : global;
+  mutable seen_version : int;
+}
+
+let create store =
+  {
+    store;
+    ndv_cache = Hashtbl.create 64;
+    cq_cache = Hashtbl.create 256;
+    global =
+      {
+        distinct_subjects = 1;
+        distinct_properties = 1;
+        distinct_objects = 1;
+        computed = false;
+      };
+    seen_version = Encoded_store.version store;
+  }
+
+let store t = t.store
+
+(* Cached statistics are tied to a store snapshot; updates flush them. *)
+let refresh t =
+  let v = Encoded_store.version t.store in
+  if v <> t.seen_version then begin
+    Hashtbl.reset t.ndv_cache;
+    Hashtbl.reset t.cq_cache;
+    t.global.computed <- false;
+    t.seen_version <- v
+  end
+
+let ensure_global t =
+  if not t.global.computed then begin
+    let s = Hashtbl.create 1024
+    and p = Hashtbl.create 64
+    and o = Hashtbl.create 1024 in
+    for i = 0 to Encoded_store.size t.store - 1 do
+      Hashtbl.replace s (Encoded_store.subject t.store i) ();
+      Hashtbl.replace p (Encoded_store.property t.store i) ();
+      Hashtbl.replace o (Encoded_store.obj t.store i) ()
+    done;
+    t.global.distinct_subjects <- max 1 (Hashtbl.length s);
+    t.global.distinct_properties <- max 1 (Hashtbl.length p);
+    t.global.distinct_objects <- max 1 (Hashtbl.length o);
+    t.global.computed <- true
+  end
+
+let ndv t ~prop pos =
+  refresh t;
+  let tag = match pos with `Subject -> 0 | `Object -> 1 in
+  match Hashtbl.find_opt t.ndv_cache (prop, tag) with
+  | Some n -> n
+  | None ->
+      let seen = Hashtbl.create 64 in
+      let ids =
+        Encoded_store.matching t.store
+          { Encoded_store.ps = None; pp = Some prop; po = None }
+      in
+      Intvec.iter
+        (fun id ->
+          let v =
+            match pos with
+            | `Subject -> Encoded_store.subject t.store id
+            | `Object -> Encoded_store.obj t.store id
+          in
+          Hashtbl.replace seen v ())
+        ids;
+      let n = max 1 (Hashtbl.length seen) in
+      Hashtbl.add t.ndv_cache (prop, tag) n;
+      n
+
+(* ---- atom counting ---- *)
+
+type slot = Wild | Code of int | Missing
+
+let slot_of t = function
+  | Bgp.Var _ -> Wild
+  | Bgp.Const c -> (
+      match Encoded_store.encode_term t.store c with
+      | Some code -> Code code
+      | None -> Missing)
+
+let pattern_of t (a : Bgp.atom) =
+  let s = slot_of t a.s and p = slot_of t a.p and o = slot_of t a.o in
+  if s = Missing || p = Missing || o = Missing then None
+  else
+    let opt = function Code c -> Some c | Wild -> None | Missing -> None in
+    Some { Encoded_store.ps = opt s; pp = opt p; po = opt o }
+
+let repeated_var (a : Bgp.atom) =
+  let vs =
+    List.filter_map
+      (function Bgp.Var v -> Some v | Bgp.Const _ -> None)
+      [ a.s; a.p; a.o ]
+  in
+  List.length vs <> List.length (List.sort_uniq String.compare vs)
+
+let atom_count t (a : Bgp.atom) =
+  match pattern_of t a with
+  | None -> 0
+  | Some pat ->
+      if not (repeated_var a) then Encoded_store.count t.store pat
+      else begin
+        (* Repeated variable inside the atom: filter the posting exactly. *)
+        let same (x : Bgp.pattern_term) (y : Bgp.pattern_term) =
+          match (x, y) with
+          | Bgp.Var v, Bgp.Var w -> String.equal v w
+          | _ -> false
+        in
+        let n = ref 0 in
+        Intvec.iter
+          (fun id ->
+            let s = Encoded_store.subject t.store id
+            and p = Encoded_store.property t.store id
+            and o = Encoded_store.obj t.store id in
+            let ok =
+              (not (same a.s a.p) || s = p)
+              && (not (same a.s a.o) || s = o)
+              && (not (same a.p a.o) || p = o)
+            in
+            if ok then incr n)
+          (Encoded_store.matching t.store pat);
+        !n
+      end
+
+(* ---- CQ estimation ---- *)
+
+(* NDV of variable [v]'s position in atom [a], used as the join-selectivity
+   denominator.  When the property is a constant we have per-property NDV;
+   otherwise fall back to the store-wide distinct counts. *)
+let position_ndv t (a : Bgp.atom) v =
+  ensure_global t;
+  let prop_code =
+    match a.p with
+    | Bgp.Const c -> Encoded_store.encode_term t.store c
+    | Bgp.Var _ -> None
+  in
+  let var_at pos = match pos with Bgp.Var w -> String.equal w v | _ -> false in
+  if var_at a.p then t.global.distinct_properties
+  else
+    match prop_code with
+    | Some p when var_at a.s -> ndv t ~prop:p `Subject
+    | Some p when var_at a.o -> ndv t ~prop:p `Object
+    | Some _ -> 1
+    | None ->
+        if var_at a.s then t.global.distinct_subjects
+        else t.global.distinct_objects
+
+let cq_cardinality t (q : Bgp.t) =
+  refresh t;
+  let key = Bgp.to_string (Bgp.canonical q) in
+  match Hashtbl.find_opt t.cq_cache key with
+  | Some x -> x
+  | None ->
+      (* System-R style: multiply atom counts, discount each repeated
+         occurrence of a join variable by 1/max(ndv seen, ndv here). *)
+      let seen : (string, int) Hashtbl.t = Hashtbl.create 8 in
+      let card =
+        List.fold_left
+          (fun card (a : Bgp.atom) ->
+            if card = 0.0 then 0.0
+            else
+              let n = float_of_int (atom_count t a) in
+              if n = 0.0 then 0.0
+              else
+                let card = card *. n in
+                List.fold_left
+                  (fun card v ->
+                    let here = position_ndv t a v in
+                    match Hashtbl.find_opt seen v with
+                    | None ->
+                        Hashtbl.replace seen v here;
+                        card
+                    | Some prev ->
+                        Hashtbl.replace seen v (min prev here);
+                        card /. float_of_int (max 1 (max prev here)))
+                  card (Bgp.atom_vars a))
+          1.0 q.body
+      in
+      Hashtbl.add t.cq_cache key card;
+      card
+
+let ucq_cardinality t u =
+  List.fold_left (fun acc cq -> acc +. cq_cardinality t cq) 0.0
+    (Ucq.disjuncts u)

@@ -1,0 +1,44 @@
+(** Data statistics and cardinality estimation.
+
+    The cost model of Section 4.1 "relies on estimated cardinalities of
+    various subqueries of the JUCQ"; GCov obtains "the statistics necessary
+    for estimating the number of results of various fragments".  This
+    module supplies them:
+
+    - exact per-pattern triple counts, answered from the store's indexes;
+    - number-of-distinct-values (NDV) statistics per property and position;
+    - textbook System-R estimation for conjunctive queries: the product of
+      per-atom counts discounted by [1/max(ndv)] for every additional
+      occurrence of a join variable;
+    - UCQ estimates as the sum of the member CQ estimates (set semantics
+      makes this an upper bound; duplicate ratios are workload-dependent
+      and deliberately not modeled, as in the paper's simple cost model).
+
+    Estimates are cached per (statistics, canonical CQ); the caches track
+    the store's modification counter and flush automatically after
+    updates, so a long-lived system keeps estimating correctly as data
+    arrives. *)
+
+type t
+
+val create : Encoded_store.t -> t
+(** Statistics bound to a store.  NDV tables are built lazily and flushed
+    when the store's {!Encoded_store.version} moves. *)
+
+val store : t -> Encoded_store.t
+(** The underlying store. *)
+
+val atom_count : t -> Query.Bgp.atom -> int
+(** Exact number of triples matching one atom (variables as wildcards;
+    repeated variables within the atom are filtered exactly). *)
+
+val ndv : t -> prop:int -> [ `Subject | `Object ] -> int
+(** Number of distinct subject (resp. object) codes among the triples with
+    the given property code.  At least 1 for a non-empty posting. *)
+
+val cq_cardinality : t -> Query.Bgp.t -> float
+(** Estimated number of answers of a CQ (before head projection /
+    duplicate elimination). *)
+
+val ucq_cardinality : t -> Query.Ucq.t -> float
+(** Estimated number of answers of a UCQ: sum of the member estimates. *)

@@ -1,0 +1,1 @@
+lib/workloads/dblp.ml: List Printf Query Random Rdf Store

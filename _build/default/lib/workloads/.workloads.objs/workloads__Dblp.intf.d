@@ -1,0 +1,1 @@
+lib/workloads/dblp.mli: Query Rdf Store

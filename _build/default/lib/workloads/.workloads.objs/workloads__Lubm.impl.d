@@ -1,0 +1,1 @@
+lib/workloads/lubm.ml: Array List Printf Query Random Rdf Sparql Store

@@ -1,0 +1,205 @@
+let ns = "http://dblp.example.org/schema#"
+
+let u name = Rdf.Term.uri (ns ^ name)
+
+(* ---- classes ---- *)
+
+let publication = u "Publication"
+let article = u "Article"
+let journal_article = u "JournalArticle"
+let conference_paper = u "ConferencePaper"
+let book = u "Book"
+let in_collection = u "InCollection"
+let proceedings = u "Proceedings"
+let thesis = u "Thesis"
+let phd_thesis = u "PhdThesis"
+let masters_thesis = u "MastersThesis"
+let person = u "Person"
+let author_c = u "Author"
+let editor_c = u "Editor"
+let venue = u "Venue"
+let journal = u "Journal"
+let conference = u "Conference"
+
+(* ---- properties ---- *)
+
+let creator = u "creator"
+let author_p = u "author"
+let editor_p = u "editor"
+let published_in = u "publishedIn"
+let in_journal = u "inJournal"
+let in_proceedings = u "inProceedings"
+let cites = u "cites"
+let crossref = u "crossref"
+let year = u "year"
+let title = u "title"
+let pages = u "pages"
+let name_p = u "name"
+let homepage = u "homepage"
+
+let schema =
+  let open Rdf.Schema in
+  of_constraints
+    [
+      Subclass (article, publication);
+      Subclass (journal_article, article);
+      Subclass (conference_paper, article);
+      Subclass (book, publication);
+      Subclass (in_collection, publication);
+      Subclass (proceedings, publication);
+      Subclass (thesis, publication);
+      Subclass (phd_thesis, thesis);
+      Subclass (masters_thesis, thesis);
+      Subclass (author_c, person);
+      Subclass (editor_c, person);
+      Subclass (journal, venue);
+      Subclass (conference, venue);
+      Subproperty (author_p, creator);
+      Subproperty (editor_p, creator);
+      Subproperty (in_journal, published_in);
+      Subproperty (in_proceedings, published_in);
+      Domain (creator, publication);
+      Domain (published_in, publication);
+      Domain (cites, publication);
+      Domain (crossref, publication);
+      Domain (year, publication);
+      Domain (title, publication);
+      Domain (pages, publication);
+      Domain (name_p, person);
+      Domain (homepage, person);
+      Range (creator, person);
+      Range (author_p, author_c);
+      Range (editor_p, editor_c);
+      Range (published_in, venue);
+      Range (in_journal, journal);
+      Range (in_proceedings, conference);
+      Range (cites, publication);
+      Range (crossref, proceedings);
+    ]
+
+(* ---- entities ---- *)
+
+let pub_uri i = Rdf.Term.uri (Printf.sprintf "http://dblp.example.org/rec/pub%d" i)
+let person_uri i = Rdf.Term.uri (Printf.sprintf "http://dblp.example.org/pers/a%d" i)
+let journal_uri i = Rdf.Term.uri (Printf.sprintf "http://dblp.example.org/journal/j%d" i)
+let conf_uri i = Rdf.Term.uri (Printf.sprintf "http://dblp.example.org/conf/c%d" i)
+let proc_uri i = Rdf.Term.uri (Printf.sprintf "http://dblp.example.org/rec/proc%d" i)
+
+type scale = { publications : int }
+
+let lit s = Rdf.Term.literal s
+
+(* A synthetic bibliography: one third as many authors as publications,
+   journals and conferences proportional to size, publications rotating
+   through the concrete classes, each with creators, venue, year, title,
+   pages and a couple of citations to earlier records.  Type assertions
+   use only the most specific classes and creator/venue facts only the
+   specific sub-properties, leaving the general levels implicit. *)
+let generate_into add ?(seed = 1936) { publications } =
+  let st = Random.State.make [| seed |] in
+  let n = max 10 publications in
+  let n_authors = max 3 (n / 3) in
+  let n_journals = 1 + (n / 200) in
+  let n_confs = 1 + (n / 150) in
+  for i = 0 to n_journals - 1 do
+    add (journal_uri i) Rdf.Vocab.rdf_type journal
+  done;
+  for i = 0 to n_confs - 1 do
+    let c = conf_uri i in
+    add c Rdf.Vocab.rdf_type conference;
+    let p = proc_uri i in
+    add p Rdf.Vocab.rdf_type proceedings;
+    add p in_proceedings c;
+    add p editor_p (person_uri (Random.State.int st n_authors));
+    add p year (lit (string_of_int (1970 + (i mod 45))))
+  done;
+  for i = 0 to n_authors - 1 do
+    let a = person_uri i in
+    add a name_p (lit (Printf.sprintf "Author %d" i));
+    if i mod 11 = 0 then
+      add a homepage (lit (Printf.sprintf "http://home%d.example.org" i))
+  done;
+  for i = 0 to n - 1 do
+    let p = pub_uri i in
+    let klass =
+      match i mod 10 with
+      | 0 | 1 | 2 | 3 -> conference_paper
+      | 4 | 5 | 6 -> journal_article
+      | 7 -> book
+      | 8 -> in_collection
+      | _ -> if i mod 20 = 9 then phd_thesis else masters_thesis
+    in
+    add p Rdf.Vocab.rdf_type klass;
+    let n_auth = 1 + Random.State.int st 3 in
+    for _ = 1 to n_auth do
+      add p author_p (person_uri (Random.State.int st n_authors))
+    done;
+    if Rdf.Term.equal klass journal_article then
+      add p in_journal (journal_uri (Random.State.int st n_journals))
+    else if Rdf.Term.equal klass conference_paper then begin
+      let c = Random.State.int st n_confs in
+      add p in_proceedings (conf_uri c);
+      add p crossref (proc_uri c)
+    end;
+    add p year (lit (string_of_int (1970 + (i mod 45))));
+    add p title (lit (Printf.sprintf "On Topic %d" i));
+    if i mod 3 = 0 then add p pages (lit (Printf.sprintf "%d-%d" i (i + 12)));
+    if i > 10 then begin
+      add p cites (pub_uri (Random.State.int st i));
+      if i mod 2 = 0 then add p cites (pub_uri (Random.State.int st i))
+    end
+  done
+
+let generate ?seed scale =
+  let store = Store.Encoded_store.create schema in
+  let add s p o = Store.Encoded_store.insert store (Rdf.Triple.make s p o) in
+  generate_into add ?seed scale;
+  store
+
+let generate_graph ?seed scale =
+  let triples = ref [] in
+  let add s p o = triples := Rdf.Triple.make s p o :: !triples in
+  generate_into add ?seed scale;
+  Rdf.Graph.make schema !triples
+
+(* ---- the 10 evaluation queries ---- *)
+
+let prefix = Printf.sprintf "PREFIX dblp: <%s>\n" ns
+
+let sparql_queries =
+  [
+    ("Q01", "SELECT ?p ?a WHERE { ?p dblp:creator ?a . ?p dblp:year ?y }");
+    ("Q02", "SELECT ?p ?v WHERE { ?p a ?v . ?p dblp:publishedIn ?j }");
+    (* two open type atoms joined through citation *)
+    ("Q03", "SELECT ?p ?c ?q ?d WHERE { ?p a ?c . ?q a ?d . ?p dblp:cites ?q }");
+    ("Q04",
+     "SELECT ?p ?c ?a WHERE { ?p a ?c . ?p dblp:creator ?a . ?a dblp:name ?n }");
+    ("Q05", "SELECT ?t WHERE { ?t a dblp:Thesis . ?t dblp:author ?a }");
+    ("Q06",
+     "SELECT ?p ?a WHERE { ?p a dblp:Article . ?p dblp:author ?a . ?a \
+      dblp:homepage ?h }");
+    ("Q07",
+     "SELECT ?p ?j WHERE { ?p dblp:publishedIn ?j . ?j a dblp:Venue . ?p \
+      dblp:year ?y }");
+    ("Q08",
+     "SELECT ?p ?c ?v WHERE { ?p a ?c . ?p dblp:publishedIn ?v . ?v a ?w . \
+      ?p dblp:creator ?a }");
+    ("Q09",
+     "SELECT ?a ?p ?q WHERE { ?p dblp:author ?a . ?q dblp:author ?a . ?p \
+      dblp:cites ?q }");
+    (* Q10: ten atoms, three open type variables: the reformulation is far
+       beyond any engine's union capacity and the cover space defeats
+       exhaustive search (ECov times out, Figure 8). *)
+    ("Q10",
+     "SELECT ?p ?c ?q ?d ?r ?e WHERE { ?p a ?c . ?q a ?d . ?r a ?e . ?p \
+      dblp:cites ?q . ?q dblp:cites ?r . ?p dblp:creator ?a . ?q \
+      dblp:creator ?a . ?r dblp:author ?b . ?a dblp:name ?n . ?b dblp:name \
+      ?m }");
+  ]
+
+let queries =
+  List.map
+    (fun (nm, body) -> (nm, Query.Sparql.parse (prefix ^ body)))
+    sparql_queries
+
+let query nm = List.assoc nm queries

@@ -1,0 +1,31 @@
+(** The DBLP workload (Section 5.1): a bibliographic RDFS ontology, a
+    seeded synthetic generator standing in for the 8M-triple DBLP dump
+    (which is not redistributable and carries no RDFS constraints of its
+    own — the paper, like us, pairs the data with a bibliographic schema),
+    and the 10 evaluation queries.
+
+    The query set mirrors Table 4's spread: reformulation sizes from a
+    handful of CQs up to a 10-atom query whose UCQ reformulation is far
+    beyond every engine's capacity and whose cover space defeats exhaustive
+    search (the paper's Q10, on which ECov times out — Figure 8). *)
+
+val ns : string
+(** The [dblp:] namespace prefix. *)
+
+val schema : Rdf.Schema.t
+(** The bibliographic RDFS schema. *)
+
+type scale = { publications : int }
+(** Generator scale; the paper's dump is ~8M triples ≈ 1M publications. *)
+
+val generate : ?seed:int -> scale -> Store.Encoded_store.t
+(** Deterministic synthetic bibliography (default seed 1936). *)
+
+val generate_graph : ?seed:int -> scale -> Rdf.Graph.t
+(** Same data as a graph (small scales / tests). *)
+
+val queries : (string * Query.Bgp.t) list
+(** The 10 evaluation queries [("Q01", q); …]. *)
+
+val query : string -> Query.Bgp.t
+(** Lookup by name ("Q01" … "Q10").  Raises [Not_found]. *)

@@ -1,0 +1,402 @@
+open Query
+
+let ns = "http://swat.cse.lehigh.edu/onto/univ-bench.owl#"
+
+let u name = Rdf.Term.uri (ns ^ name)
+
+(* ---- classes ---- *)
+
+let organization = u "Organization"
+let university_c = u "University"
+let college = u "College"
+let department = u "Department"
+let institute = u "Institute"
+let program = u "Program"
+let research_group = u "ResearchGroup"
+let person = u "Person"
+let employee = u "Employee"
+let student = u "Student"
+let teaching_assistant = u "TeachingAssistant"
+let research_assistant = u "ResearchAssistant"
+let director = u "Director"
+let faculty = u "Faculty"
+let administrative_staff = u "AdministrativeStaff"
+let professor = u "Professor"
+let lecturer = u "Lecturer"
+let post_doc = u "PostDoc"
+let full_professor = u "FullProfessor"
+let associate_professor = u "AssociateProfessor"
+let assistant_professor = u "AssistantProfessor"
+let visiting_professor = u "VisitingProfessor"
+let chair = u "Chair"
+let dean = u "Dean"
+let clerical_staff = u "ClericalStaff"
+let systems_staff = u "SystemsStaff"
+let undergraduate_student = u "UndergraduateStudent"
+let graduate_student = u "GraduateStudent"
+let work = u "Work"
+let course = u "Course"
+let research = u "Research"
+let graduate_course = u "GraduateCourse"
+let publication = u "Publication"
+let article = u "Article"
+let book = u "Book"
+let manual = u "Manual"
+let software = u "Software"
+let specification = u "Specification"
+let unofficial_publication = u "UnofficialPublication"
+let conference_paper = u "ConferencePaper"
+let journal_article = u "JournalArticle"
+let technical_report = u "TechnicalReport"
+
+(* ---- properties ---- *)
+
+let member_of = u "memberOf"
+let works_for = u "worksFor"
+let head_of = u "headOf"
+let sub_organization_of = u "subOrganizationOf"
+let affiliated_organization_of = u "affiliatedOrganizationOf"
+let degree_from = u "degreeFrom"
+let undergraduate_degree_from = u "undergraduateDegreeFrom"
+let masters_degree_from = u "mastersDegreeFrom"
+let doctoral_degree_from = u "doctoralDegreeFrom"
+let advisor = u "advisor"
+let takes_course = u "takesCourse"
+let teacher_of = u "teacherOf"
+let teaching_assistant_of = u "teachingAssistantOf"
+let research_assistant_of = u "researchAssistantOf"
+let publication_author = u "publicationAuthor"
+let org_publication = u "orgPublication"
+let research_project = u "researchProject"
+let software_documentation = u "softwareDocumentation"
+let publication_date = u "publicationDate"
+let publication_research = u "publicationResearch"
+let tenured = u "tenured"
+let email_address = u "emailAddress"
+let telephone = u "telephone"
+let title = u "title"
+let age = u "age"
+let research_interest = u "researchInterest"
+let office_number = u "officeNumber"
+let name_p = u "name"
+
+let schema =
+  let open Rdf.Schema in
+  of_constraints
+    [
+      (* class hierarchy *)
+      Subclass (university_c, organization);
+      Subclass (college, organization);
+      Subclass (department, organization);
+      Subclass (institute, organization);
+      Subclass (program, organization);
+      Subclass (research_group, organization);
+      Subclass (employee, person);
+      Subclass (student, person);
+      Subclass (teaching_assistant, person);
+      Subclass (research_assistant, person);
+      Subclass (director, person);
+      Subclass (faculty, employee);
+      Subclass (administrative_staff, employee);
+      Subclass (professor, faculty);
+      Subclass (lecturer, faculty);
+      Subclass (post_doc, faculty);
+      Subclass (full_professor, professor);
+      Subclass (associate_professor, professor);
+      Subclass (assistant_professor, professor);
+      Subclass (visiting_professor, professor);
+      Subclass (chair, professor);
+      Subclass (dean, professor);
+      Subclass (clerical_staff, administrative_staff);
+      Subclass (systems_staff, administrative_staff);
+      Subclass (undergraduate_student, student);
+      Subclass (graduate_student, student);
+      Subclass (course, work);
+      Subclass (research, work);
+      Subclass (graduate_course, course);
+      Subclass (article, publication);
+      Subclass (book, publication);
+      Subclass (manual, publication);
+      Subclass (software, publication);
+      Subclass (specification, publication);
+      Subclass (unofficial_publication, publication);
+      Subclass (conference_paper, article);
+      Subclass (journal_article, article);
+      Subclass (technical_report, article);
+      (* property hierarchy *)
+      Subproperty (works_for, member_of);
+      Subproperty (head_of, works_for);
+      Subproperty (undergraduate_degree_from, degree_from);
+      Subproperty (masters_degree_from, degree_from);
+      Subproperty (doctoral_degree_from, degree_from);
+      (* domains *)
+      Domain (member_of, person);
+      Domain (sub_organization_of, organization);
+      Domain (affiliated_organization_of, organization);
+      Domain (degree_from, person);
+      Domain (advisor, person);
+      Domain (takes_course, student);
+      Domain (teacher_of, faculty);
+      Domain (teaching_assistant_of, teaching_assistant);
+      Domain (research_assistant_of, research_assistant);
+      Domain (publication_author, publication);
+      Domain (org_publication, organization);
+      Domain (research_project, research_group);
+      Domain (software_documentation, software);
+      Domain (publication_date, publication);
+      Domain (publication_research, publication);
+      Domain (tenured, professor);
+      Domain (email_address, person);
+      Domain (telephone, person);
+      Domain (title, person);
+      Domain (age, person);
+      Domain (research_interest, person);
+      Domain (office_number, faculty);
+      (* ranges *)
+      Range (member_of, organization);
+      Range (sub_organization_of, organization);
+      Range (affiliated_organization_of, organization);
+      Range (degree_from, university_c);
+      Range (advisor, professor);
+      Range (takes_course, course);
+      Range (teacher_of, course);
+      Range (teaching_assistant_of, course);
+      Range (research_assistant_of, research_group);
+      Range (publication_author, person);
+      Range (org_publication, publication);
+      Range (research_project, research);
+      Range (software_documentation, publication);
+      Range (publication_research, research);
+    ]
+
+(* ---- entity URIs ---- *)
+
+let university i = Rdf.Term.uri (Printf.sprintf "http://www.University%d.edu" i)
+
+let dept_uri ui di =
+  Printf.sprintf "http://www.Department%d.University%d.edu" di ui
+
+let entity ui di kind k = Rdf.Term.uri (Printf.sprintf "%s/%s%d" (dept_uri ui di) kind k)
+
+type scale = { universities : int }
+
+let lit s = Rdf.Term.literal s
+
+(* ---- generator ----
+
+   Per department: 12 faculty (4 full / 3 associate / 3 assistant / 2
+   lecturers; the first full professor chairs it), 24 courses, 20 graduate
+   and 30 undergraduate students, 3 publications per faculty member, one
+   research group.  Roughly 1,050 triples per department, 5 departments per
+   university.  All memberships of faculty in their university, and of
+   students in their department, are explicit; [degreeFrom] facts exist
+   only through the three specific sub-properties, and type facts are only
+   asserted at the most specific class — the implicit knowledge that
+   reformulation/saturation must recover. *)
+let generate_into add ?(seed = 2015) { universities } =
+  let st = Random.State.make [| seed |] in
+  let n_univ = max 1 universities in
+  let rand_univ () = university (Random.State.int st n_univ) in
+  for ui = 0 to n_univ - 1 do
+    let univ = university ui in
+    add univ Rdf.Vocab.rdf_type university_c;
+    for di = 0 to 4 do
+      let dept = Rdf.Term.uri (dept_uri ui di) in
+      add dept Rdf.Vocab.rdf_type department;
+      add dept sub_organization_of univ;
+      let group = entity ui di "ResearchGroup" 0 in
+      add group Rdf.Vocab.rdf_type research_group;
+      add group sub_organization_of dept;
+      let proj = entity ui di "Research" 0 in
+      add proj Rdf.Vocab.rdf_type research;
+      add group research_project proj;
+      (* courses *)
+      let courses =
+        Array.init 24 (fun k ->
+            let c = entity ui di "Course" k in
+            add c Rdf.Vocab.rdf_type
+              (if k mod 5 < 2 then graduate_course else course);
+            c)
+      in
+      (* faculty *)
+      let faculty_kinds =
+        [|
+          full_professor; full_professor; full_professor; full_professor;
+          associate_professor; associate_professor; associate_professor;
+          assistant_professor; assistant_professor; assistant_professor;
+          lecturer; lecturer;
+        |]
+      in
+      let faculty_members =
+        Array.mapi
+          (fun k klass ->
+            let kind =
+              if Rdf.Term.equal klass full_professor then "FullProfessor"
+              else if Rdf.Term.equal klass associate_professor then
+                "AssociateProfessor"
+              else if Rdf.Term.equal klass assistant_professor then
+                "AssistantProfessor"
+              else "Lecturer"
+            in
+            let f = entity ui di kind k in
+            add f Rdf.Vocab.rdf_type klass;
+            add f works_for dept;
+            add f member_of univ;
+            add f doctoral_degree_from (rand_univ ());
+            add f masters_degree_from (rand_univ ());
+            add f undergraduate_degree_from (rand_univ ());
+            add f name_p (lit (Printf.sprintf "%s%d.D%d.U%d" kind k di ui));
+            add f email_address
+              (lit (Printf.sprintf "%s%d@dept%d.univ%d.edu" kind k di ui));
+            add f telephone
+              (lit (Printf.sprintf "+1-%03d-%04d" (ui mod 999) k));
+            add f teacher_of courses.(2 * k mod 24);
+            add f teacher_of courses.((2 * k + 1) mod 24);
+            if Rdf.Term.equal klass full_professor then
+              add f tenured (lit "true");
+            f)
+          faculty_kinds
+      in
+      add faculty_members.(0) head_of dept;
+      (* graduate students *)
+      for k = 0 to 19 do
+        let g = entity ui di "GraduateStudent" k in
+        add g Rdf.Vocab.rdf_type graduate_student;
+        add g member_of dept;
+        add g undergraduate_degree_from (rand_univ ());
+        let adv = faculty_members.(k mod 10) in
+        add g advisor adv;
+        (* one course taught by the advisor (the Q17 triangle), one other *)
+        add g takes_course courses.(2 * (k mod 10) mod 24);
+        add g takes_course courses.(Random.State.int st 24);
+        add g name_p (lit (Printf.sprintf "GraduateStudent%d.D%d.U%d" k di ui));
+        add g email_address
+          (lit (Printf.sprintf "grad%d@dept%d.univ%d.edu" k di ui));
+        if k mod 5 = 0 then begin
+          add g Rdf.Vocab.rdf_type teaching_assistant;
+          add g teaching_assistant_of courses.(Random.State.int st 24)
+        end;
+        if k mod 7 = 0 then begin
+          add g Rdf.Vocab.rdf_type research_assistant;
+          add g research_assistant_of group
+        end
+      done;
+      (* undergraduate students *)
+      for k = 0 to 29 do
+        let s = entity ui di "UndergraduateStudent" k in
+        add s Rdf.Vocab.rdf_type undergraduate_student;
+        add s member_of dept;
+        add s takes_course courses.(Random.State.int st 24);
+        add s takes_course courses.(Random.State.int st 24);
+        add s name_p
+          (lit (Printf.sprintf "UndergraduateStudent%d.D%d.U%d" k di ui))
+      done;
+      (* publications *)
+      let pub_kinds = [| journal_article; conference_paper; technical_report |] in
+      Array.iteri
+        (fun k f ->
+          for j = 0 to 2 do
+            let p = entity ui di "Publication" ((3 * k) + j) in
+            add p Rdf.Vocab.rdf_type pub_kinds.(j);
+            add p publication_author f;
+            add p publication_date (lit (string_of_int (1995 + ((k + j) mod 20))));
+            if j = 0 then add p publication_research proj
+          done)
+        faculty_members
+    done
+  done
+
+let generate ?seed scale =
+  let store = Store.Encoded_store.create schema in
+  let add s p o = Store.Encoded_store.insert store (Rdf.Triple.make s p o) in
+  generate_into add ?seed scale;
+  store
+
+let generate_graph ?seed scale =
+  let triples = ref [] in
+  let add s p o = triples := Rdf.Triple.make s p o :: !triples in
+  generate_into add ?seed scale;
+  Rdf.Graph.make schema !triples
+
+(* ---- the 28 evaluation queries ---- *)
+
+let u0 = "<http://www.University0.edu>"
+
+let prefix = Printf.sprintf "PREFIX ub: <%s>\n" ns
+
+let sparql_queries =
+  [
+    (* Q01 = Motivating Example 1's q1: 188 × 4 × 3 = 2,256 reformulations *)
+    ("Q01",
+     "SELECT ?x ?y WHERE { ?x a ?y . ?x ub:degreeFrom " ^ u0
+     ^ " . ?x ub:memberOf " ^ u0 ^ " }");
+    ("Q02", "SELECT ?x ?y WHERE { ?x a ?y . ?x ub:memberOf " ^ u0 ^ " }");
+    ("Q03", "SELECT ?x ?c WHERE { ?x a ub:Student . ?x ub:takesCourse ?c }");
+    ("Q04", "SELECT ?x ?n WHERE { ?x a ub:Professor . ?x ub:emailAddress ?n }");
+    ("Q05", "SELECT ?x ?c WHERE { ?x ub:teacherOf ?c . ?c a ub:Course }");
+    (* Q06: large-result single-class query (the Person surface) *)
+    ("Q06", "SELECT ?x WHERE { ?x a ub:Person . ?x ub:memberOf ?o }");
+    ("Q07", "SELECT ?x ?y WHERE { ?x ub:worksFor ?y . ?y a ub:Department }");
+    ("Q08",
+     "SELECT ?x ?y ?z WHERE { ?x ub:memberOf ?y . ?y ub:subOrganizationOf ?z \
+      . ?z a ub:University }");
+    (* Q09: two open type atoms: 188 × 188 = 35,344 reformulations *)
+    ("Q09", "SELECT ?x ?y ?z ?w WHERE { ?x a ?y . ?z a ?w . ?x ub:advisor ?z }");
+    ("Q10",
+     "SELECT ?x ?c ?s WHERE { ?x a ub:Faculty . ?x ub:teacherOf ?c . ?s \
+      ub:takesCourse ?c }");
+    ("Q11", "SELECT ?x ?o WHERE { ?x a ub:Employee . ?x ub:memberOf ?o }");
+    ("Q12",
+     "SELECT ?p ?a WHERE { ?p a ub:Publication . ?p ub:publicationAuthor ?a \
+      . ?a a ub:Faculty }");
+    ("Q13", "SELECT ?x ?y ?c WHERE { ?x a ?y . ?x ub:teacherOf ?c }");
+    (* Q14: large-result organization surface *)
+    ("Q14", "SELECT ?x WHERE { ?x a ub:Organization }");
+    (* Q15: 188 × 3 × 21 = 11,844 — beyond the DB2-like union capacity *)
+    ("Q15",
+     "SELECT ?x ?y ?o WHERE { ?x a ?y . ?x ub:memberOf ?o . ?o a \
+      ub:Organization }");
+    ("Q16", "SELECT ?x ?u WHERE { ?x ub:degreeFrom ?u . ?u a ub:University }");
+    ("Q17",
+     "SELECT ?x ?y ?c WHERE { ?x ub:advisor ?y . ?y ub:teacherOf ?c . ?x \
+      ub:takesCourse ?c }");
+    (* Q18: 188 × 3 × 1 × 188 = 106,032 — beyond DB2- and MySQL-like limits *)
+    ("Q18",
+     "SELECT ?x ?y ?d ?u ?w WHERE { ?x a ?y . ?x ub:memberOf ?d . ?d \
+      ub:subOrganizationOf ?u . ?u a ?w }");
+    (* Q19: 188 × 3 × 1 × 42 = 23,688 — DB2-like fails, MySQL-like passes *)
+    ("Q19",
+     "SELECT ?x ?y ?d ?z WHERE { ?x a ?y . ?x ub:memberOf ?d . ?x ub:advisor \
+      ?z . ?z a ub:Person }");
+    ("Q20",
+     "SELECT ?g ?p WHERE { ?g a ub:GraduateStudent . ?g ub:advisor ?p . ?p a \
+      ub:FullProfessor }");
+    ("Q21", "SELECT ?x ?d WHERE { ?x ub:headOf ?d . ?d a ub:Organization }");
+    ("Q22", "SELECT ?x WHERE { ?x a ub:Person . ?x ub:degreeFrom " ^ u0 ^ " }");
+    ("Q23",
+     "SELECT ?x ?d ?u WHERE { ?x a ub:Student . ?x ub:memberOf ?d . ?d \
+      ub:subOrganizationOf ?u . ?x ub:degreeFrom ?u }");
+    ("Q24",
+     "SELECT ?x ?c ?s WHERE { ?x a ub:Faculty . ?x ub:teacherOf ?c . ?c a \
+      ub:GraduateCourse . ?s ub:takesCourse ?c . ?s a ub:GraduateStudent }");
+    ("Q25",
+     "SELECT ?p ?a ?d WHERE { ?p a ub:Article . ?p ub:publicationAuthor ?a \
+      . ?a ub:worksFor ?d . ?d a ub:Department }");
+    ("Q26",
+     "SELECT ?x ?y WHERE { ?x a ?y . ?x ub:undergraduateDegreeFrom " ^ u0
+     ^ " }");
+    ("Q27",
+     "SELECT ?x ?d ?u ?p WHERE { ?x a ub:Professor . ?x ub:worksFor ?d . ?d \
+      ub:subOrganizationOf ?u . ?p ub:publicationAuthor ?x . ?p a \
+      ub:Publication }");
+    (* Q28 = Motivating Example 2's q2: 188² × 3 × 3 = 318,096 *)
+    ("Q28",
+     "SELECT ?x ?u ?y ?v ?z WHERE { ?x a ?u . ?y a ?v . ?x \
+      ub:mastersDegreeFrom " ^ u0 ^ " . ?y ub:doctoralDegreeFrom " ^ u0
+     ^ " . ?x ub:memberOf ?z . ?y ub:memberOf ?z }");
+  ]
+
+let queries =
+  List.map (fun (nm, body) -> (nm, Sparql.parse (prefix ^ body))) sparql_queries
+
+let query nm = List.assoc nm queries

@@ -1,0 +1,1 @@
+test/test_cli.ml: Alcotest Filename Lazy List Printf String Sys

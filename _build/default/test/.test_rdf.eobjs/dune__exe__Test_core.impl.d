@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Bgp Engine Float Fun Jucq List Printf QCheck2 QCheck_alcotest Query Rdf Reformulation Result Rqa Store

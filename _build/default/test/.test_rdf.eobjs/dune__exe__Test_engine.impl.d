@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Bgp Engine Format Jucq List Printf QCheck2 QCheck_alcotest Query Rdf Reformulation Store String Ucq

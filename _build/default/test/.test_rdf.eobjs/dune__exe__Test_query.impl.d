@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest Array Bgp Containment Format Jucq List Printf QCheck2 QCheck_alcotest Query Random Rdf Sparql String Ucq

@@ -1,0 +1,1 @@
+test/test_rdf.ml: Alcotest Filename Format List Printf QCheck2 QCheck_alcotest Rdf String Sys

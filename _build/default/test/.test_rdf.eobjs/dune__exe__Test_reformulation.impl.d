@@ -1,0 +1,1 @@
+test/test_reformulation.ml: Alcotest Bgp Containment List Printf QCheck2 QCheck_alcotest Query Rdf Reformulation Ucq

@@ -1,0 +1,1 @@
+test/test_store.ml: Alcotest Array Filename List Printf QCheck2 QCheck_alcotest Query Rdf Store Sys

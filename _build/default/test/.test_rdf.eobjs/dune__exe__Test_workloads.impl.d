@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Bgp List Printf Query Rdf Reformulation Rqa Store Workloads

@@ -1,0 +1,167 @@
+(* Integration tests for the rdfqa command-line tool: each subcommand is
+   exercised against a freshly generated dataset.  The binary is run as a
+   subprocess (dune provides it via the test stanza's deps); stdout is
+   captured to a temp file and grepped. *)
+
+(* Under `dune runtest` the working directory is _build/default/test; under
+   a direct `dune exec test/test_cli.exe` it is the project root. *)
+let exe =
+  List.find Sys.file_exists
+    [ "../bin/rdfqa.exe"; "_build/default/bin/rdfqa.exe" ]
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let run_capture args =
+  let out = Filename.temp_file "rqa_cli" ".out" in
+  let cmd = Printf.sprintf "%s %s > %s 2>&1" exe args (Filename.quote out) in
+  let code = Sys.command cmd in
+  let ic = open_in out in
+  let len = in_channel_length ic in
+  let body = really_input_string ic len in
+  close_in ic;
+  Sys.remove out;
+  (code, body)
+
+let data_file =
+  lazy
+    (let path = Filename.temp_file "rqa_cli" ".nt" in
+     let code, body =
+       run_capture (Printf.sprintf "generate -w lubm -n 1 -o %s" path)
+     in
+     Alcotest.(check int) "generate exit code" 0 code;
+     Alcotest.(check bool) "generate reports facts" true
+       (contains body "wrote" && contains body "schema constraints");
+     path)
+
+let test_generate () = ignore (Lazy.force data_file)
+
+let test_query_gcov () =
+  let data = Lazy.force data_file in
+  let code, body =
+    run_capture
+      (Printf.sprintf
+         "query -d %s --workload-query lubm:Q01 -s gcov --show-cover" data)
+  in
+  Alcotest.(check int) "exit code" 0 code;
+  Alcotest.(check bool) "row count line" true (contains body "rows (GCov");
+  Alcotest.(check bool) "cover line" true (contains body "-- cover:")
+
+let test_query_strategies_agree () =
+  let data = Lazy.force data_file in
+  let rows strategy =
+    let _, body =
+      run_capture
+        (Printf.sprintf
+           "query -d %s --workload-query lubm:Q03 -s %s --limit 0" data
+           strategy)
+    in
+    body
+  in
+  let extract body =
+    (* the summary line starts with "-- N rows" *)
+    List.find_map
+      (fun line ->
+        match String.split_on_char ' ' (String.trim line) with
+        | "--" :: n :: "rows" :: _ -> int_of_string_opt n
+        | _ -> None)
+      (String.split_on_char '\n' body)
+  in
+  let sat = extract (rows "saturation") in
+  let ucq = extract (rows "ucq") in
+  let gcov = extract (rows "gcov") in
+  Alcotest.(check bool) "parsed" true (sat <> None && ucq <> None && gcov <> None);
+  Alcotest.(check bool) "saturation = ucq = gcov" true (sat = ucq && ucq = gcov)
+
+let test_query_engine_failure_exit_code () =
+  let data = Lazy.force data_file in
+  (* Q28's UCQ exceeds every engine's union capacity: exit code 1. *)
+  let code, body =
+    run_capture
+      (Printf.sprintf "query -d %s --workload-query lubm:Q28 -s ucq" data)
+  in
+  Alcotest.(check int) "failure exit code" 1 code;
+  Alcotest.(check bool) "failure message" true (contains body "ENGINE FAILURE")
+
+let test_reformulate () =
+  let data = Lazy.force data_file in
+  let code, body =
+    run_capture
+      (Printf.sprintf
+         "reformulate -d %s -q 'SELECT ?x WHERE { ?x a \
+          <http://swat.cse.lehigh.edu/onto/univ-bench.owl#Student> }'"
+         data)
+  in
+  Alcotest.(check int) "exit code" 0 code;
+  Alcotest.(check bool) "term count" true (contains body "union terms")
+
+let test_reformulate_minimize () =
+  let data = Lazy.force data_file in
+  let code, body =
+    run_capture
+      (Printf.sprintf
+         "reformulate -d %s --minimize --workload-query lubm:Q02" data)
+  in
+  Alcotest.(check int) "exit code" 0 code;
+  Alcotest.(check bool) "term count" true (contains body "union terms")
+
+let test_explain_plan () =
+  let data = Lazy.force data_file in
+  let code, body =
+    run_capture
+      (Printf.sprintf "explain -d %s --workload-query lubm:Q01 --plan" data)
+  in
+  Alcotest.(check int) "exit code" 0 code;
+  Alcotest.(check bool) "gcov line" true (contains body "GCov picks");
+  Alcotest.(check bool) "plan printed" true (contains body "Project head")
+
+let test_sql () =
+  let data = Lazy.force data_file in
+  let code, body =
+    run_capture
+      (Printf.sprintf "sql -d %s --workload-query lubm:Q01" data)
+  in
+  Alcotest.(check int) "exit code" 0 code;
+  Alcotest.(check bool) "select" true (contains body "SELECT DISTINCT");
+  Alcotest.(check bool) "triples table" true (contains body "Triples t0")
+
+let test_turtle_workflow () =
+  let path = Filename.temp_file "rqa_cli" ".ttl" in
+  let code, _ = run_capture (Printf.sprintf "generate -w dblp -n 100 -o %s" path) in
+  Alcotest.(check int) "generate ttl" 0 code;
+  let code, body =
+    run_capture
+      (Printf.sprintf "query -d %s --workload-query dblp:Q01 -s gcov --limit 0" path)
+  in
+  Sys.remove path;
+  Alcotest.(check int) "query over ttl" 0 code;
+  Alcotest.(check bool) "has rows" true (contains body "rows (GCov")
+
+let test_bad_arguments () =
+  let code, _ = run_capture "query --workload-query lubm:Q01" in
+  Alcotest.(check bool) "missing --data rejected" true (code <> 0);
+  let data = Lazy.force data_file in
+  let code, _ =
+    run_capture (Printf.sprintf "query -d %s" data)
+  in
+  Alcotest.(check int) "missing query rejected" 2 code
+
+let () =
+  Alcotest.run "cli"
+    [
+      ( "rdfqa",
+        [
+          Alcotest.test_case "generate" `Quick test_generate;
+          Alcotest.test_case "query gcov" `Quick test_query_gcov;
+          Alcotest.test_case "strategies agree" `Quick test_query_strategies_agree;
+          Alcotest.test_case "engine failure exit code" `Quick test_query_engine_failure_exit_code;
+          Alcotest.test_case "reformulate" `Quick test_reformulate;
+          Alcotest.test_case "reformulate --minimize" `Quick test_reformulate_minimize;
+          Alcotest.test_case "explain --plan" `Quick test_explain_plan;
+          Alcotest.test_case "sql" `Quick test_sql;
+          Alcotest.test_case "turtle workflow" `Quick test_turtle_workflow;
+          Alcotest.test_case "bad arguments" `Quick test_bad_arguments;
+        ] );
+    ]

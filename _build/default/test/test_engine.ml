@@ -1,0 +1,457 @@
+(* Tests for the execution engine: relations, CQ/UCQ/JUCQ evaluation
+   against the naive reference evaluator, engine-profile failure modes and
+   SQL rendering. *)
+
+open Query
+
+let u s = Rdf.Term.uri s
+let tr s p o = Rdf.Triple.make s p o
+let typ = Rdf.Vocab.rdf_type
+let v x = Bgp.Var x
+let c t = Bgp.Const t
+
+let rows_t =
+  Alcotest.testable
+    (fun fmt rs ->
+      Format.pp_print_string fmt
+        (String.concat " | "
+           (List.map
+              (fun r -> String.concat "," (List.map Rdf.Term.to_string r))
+              rs)))
+    (List.equal (List.equal Rdf.Term.equal))
+
+(* ---- Relation ---- *)
+
+let test_relation_basics () =
+  let r = Engine.Relation.create ~cols:2 in
+  Engine.Relation.append r [| 1; 2 |];
+  Engine.Relation.append r [| 3; 4 |];
+  Engine.Relation.append r [| 1; 2 |];
+  Alcotest.(check int) "rows" 3 (Engine.Relation.rows r);
+  Alcotest.(check int) "get" 4 (Engine.Relation.get r 1 1);
+  Alcotest.(check int) "dedup" 2 (Engine.Relation.rows (Engine.Relation.dedup r));
+  let p = Engine.Relation.project r [| 1 |] in
+  Alcotest.(check int) "projected cols" 1 (Engine.Relation.cols p);
+  Alcotest.(check int) "projected value" 2 (Engine.Relation.get p 0 0)
+
+let test_relation_arity_check () =
+  let r = Engine.Relation.create ~cols:2 in
+  Alcotest.(check bool) "arity mismatch raises" true
+    (try Engine.Relation.append r [| 1 |]; false
+     with Invalid_argument _ -> true)
+
+let test_relation_zero_arity () =
+  let r = Engine.Relation.create ~cols:0 in
+  Engine.Relation.append r [||];
+  Engine.Relation.append r [||];
+  Alcotest.(check int) "dedup boolean" 1
+    (Engine.Relation.rows (Engine.Relation.dedup r))
+
+(* ---- fixtures ---- *)
+
+let schema =
+  Rdf.Schema.of_constraints
+    [
+      Rdf.Schema.Subclass (u "A", u "B");
+      Rdf.Schema.Subproperty (u "p", u "q");
+      Rdf.Schema.Domain (u "p", u "A");
+    ]
+
+let graph =
+  Rdf.Graph.make schema
+    [
+      tr (u "x1") typ (u "A");
+      tr (u "x1") (u "p") (u "y1");
+      tr (u "x2") (u "p") (u "y2");
+      tr (u "x2") (u "q") (u "y1");
+      tr (u "y1") (u "r") (u "x2");
+      tr (u "x3") typ (u "B");
+    ]
+
+let store () = Store.Encoded_store.of_graph graph
+
+let reformulator = Reformulation.Reformulate.create schema
+let reformulate q = Reformulation.Reformulate.reformulate reformulator q
+
+(* ---- CQ evaluation vs naive ---- *)
+
+let queries_for_comparison =
+  [
+    Bgp.make [ v "x" ] [ Bgp.atom (v "x") (c typ) (c (u "A")) ];
+    Bgp.make [ v "x"; v "y" ] [ Bgp.atom (v "x") (c (u "p")) (v "y") ];
+    Bgp.make [ v "x"; v "z" ]
+      [
+        Bgp.atom (v "x") (c (u "p")) (v "y");
+        Bgp.atom (v "y") (c (u "r")) (v "z");
+      ];
+    Bgp.make [ v "x" ]
+      [
+        Bgp.atom (v "x") (v "pp") (v "y");
+        Bgp.atom (v "y") (c (u "r")) (v "z");
+      ];
+    (* repeated variable inside one atom *)
+    Bgp.make [ v "x" ] [ Bgp.atom (v "x") (c (u "p")) (v "x") ];
+    (* constant head *)
+    Bgp.make [ v "x"; c (u "A") ] [ Bgp.atom (v "x") (c typ) (c (u "A")) ];
+  ]
+
+let test_head_constant_absent_from_data () =
+  (* Regression: reformulation produces heads carrying schema classes that
+     may never occur in the data; they are outputs, not selections. *)
+  let ex = Engine.Executor.create (store ()) in
+  let q =
+    Bgp.make [ v "x"; c (u "Phantom") ] [ Bgp.atom (v "x") (c (u "p")) (v "y") ]
+  in
+  let got = Engine.Executor.decode ex (Engine.Executor.eval_cq ex q) in
+  Alcotest.check rows_t "phantom head" (Bgp.eval graph q) got
+
+let test_cq_matches_naive () =
+  let ex = Engine.Executor.create (store ()) in
+  List.iter
+    (fun q ->
+      let got = Engine.Executor.decode ex (Engine.Executor.eval_cq ex q) in
+      Alcotest.check rows_t (Bgp.to_string q) (Bgp.eval graph q) got)
+    queries_for_comparison
+
+let test_ucq_matches_naive () =
+  let ex = Engine.Executor.create (store ()) in
+  List.iter
+    (fun q ->
+      let ucq = reformulate q in
+      let got = Engine.Executor.decode ex (Engine.Executor.eval_ucq ex ucq) in
+      Alcotest.check rows_t ("ucq " ^ Bgp.to_string q) (Ucq.eval graph ucq) got)
+    queries_for_comparison
+
+let test_jucq_matches_reference () =
+  let ex = Engine.Executor.create (store ()) in
+  let q =
+    Bgp.make [ v "x"; v "k" ]
+      [
+        Bgp.atom (v "x") (c typ) (v "k");
+        Bgp.atom (v "x") (c (u "q")) (v "y");
+        Bgp.atom (v "y") (c (u "r")) (v "z");
+      ]
+  in
+  List.iter
+    (fun cover ->
+      let j = Jucq.make ~reformulate q cover in
+      let got = Engine.Executor.decode ex (Engine.Executor.eval_jucq ex j) in
+      Alcotest.check rows_t
+        ("cover " ^ Jucq.cover_to_string cover)
+        (Jucq.eval graph j) got)
+    [
+      Jucq.ucq_cover q;
+      Jucq.scq_cover q;
+      [ [ 0; 1 ]; [ 2 ] ];
+      [ [ 0; 1 ]; [ 1; 2 ] ];
+    ]
+
+let test_jucq_equals_answer () =
+  (* Theorem 3.1 end to end: any cover-based JUCQ evaluated by the engine
+     yields q(db∞). *)
+  let ex = Engine.Executor.create (store ()) in
+  let q =
+    Bgp.make [ v "x" ]
+      [
+        Bgp.atom (v "x") (c typ) (c (u "B"));
+        Bgp.atom (v "x") (c (u "q")) (v "y");
+      ]
+  in
+  let expected = Bgp.answer graph q in
+  List.iter
+    (fun cover ->
+      let j = Jucq.make ~reformulate q cover in
+      Alcotest.check rows_t
+        ("cover " ^ Jucq.cover_to_string cover)
+        expected
+        (Engine.Executor.decode ex (Engine.Executor.eval_jucq ex j)))
+    [ Jucq.ucq_cover q; Jucq.scq_cover q ]
+
+let test_block_nested_loop_join_agrees () =
+  let q =
+    Bgp.make [ v "x"; v "k" ]
+      [
+        Bgp.atom (v "x") (c typ) (v "k");
+        Bgp.atom (v "x") (c (u "q")) (v "y");
+      ]
+  in
+  let j = Jucq.make ~reformulate q (Jucq.scq_cover q) in
+  let hash_ex =
+    Engine.Executor.create ~profile:Engine.Profile.postgres_like (store ())
+  in
+  let bnl_ex =
+    Engine.Executor.create ~profile:Engine.Profile.mysql_like (store ())
+  in
+  Alcotest.check rows_t "hash = bnl"
+    (Engine.Executor.decode hash_ex (Engine.Executor.eval_jucq hash_ex j))
+    (Engine.Executor.decode bnl_ex (Engine.Executor.eval_jucq bnl_ex j))
+
+let test_join_order_avoids_cartesian () =
+  (* Chain query x -p-> y -q-> z -r-> w; with single-triple fragments, a
+     size-only join order would cross the p- and r-fragments (500 x 500
+     rows) before q connects them.  The greedy connected order keeps the
+     intermediate results linear; the work meter proves it. *)
+  let triples =
+    List.concat
+      (List.init 500 (fun i ->
+           let e k = u (Printf.sprintf "%s%d" k i) in
+           [
+             tr (e "x") (u "p") (e "y");
+             tr (e "y") (u "q") (e "z");
+             tr (e "z") (u "r") (e "w");
+           ]))
+  in
+  let st = Store.Encoded_store.of_graph (Rdf.Graph.of_triples triples) in
+  let ex = Engine.Executor.create st in
+  let q =
+    Bgp.make [ v "x"; v "w" ]
+      [
+        Bgp.atom (v "x") (c (u "p")) (v "y");
+        Bgp.atom (v "y") (c (u "q")) (v "z");
+        Bgp.atom (v "z") (c (u "r")) (v "w");
+      ]
+  in
+  let ident cq = Ucq.of_cqs [ cq ] in
+  let j = Jucq.make ~reformulate:ident q (Jucq.scq_cover q) in
+  let result = Engine.Executor.eval_jucq ex j in
+  Alcotest.(check int) "500 chains" 500 (Engine.Relation.rows result);
+  Alcotest.(check bool)
+    (Printf.sprintf "linear work (%d ops)" (Engine.Executor.last_operations ex))
+    true
+    (Engine.Executor.last_operations ex < 50_000)
+
+(* ---- failure modes ---- *)
+
+let tiny_profile =
+  {
+    Engine.Profile.postgres_like with
+    Engine.Profile.name = "tiny";
+    max_union_terms = 2;
+    max_materialized_rows = 1000;
+    max_operations = 1000000;
+  }
+
+let test_union_capacity_failure () =
+  let ex = Engine.Executor.create ~profile:tiny_profile (store ()) in
+  let q = Bgp.make [ v "x" ] [ Bgp.atom (v "x") (c typ) (c (u "B")) ] in
+  let ucq = reformulate q in
+  Alcotest.(check bool) "enough terms" true (Ucq.cardinal ucq > 2);
+  Alcotest.(check bool) "union capacity failure" true
+    (try ignore (Engine.Executor.eval_ucq ex ucq); false
+     with Engine.Profile.Engine_failure
+            { reason = Engine.Profile.Union_capacity _; _ } -> true)
+
+let test_materialization_failure () =
+  let profile =
+    { tiny_profile with Engine.Profile.max_union_terms = 100;
+      max_materialized_rows = 2 }
+  in
+  let ex = Engine.Executor.create ~profile (store ()) in
+  let q = Bgp.make [ v "x"; v "y" ] [ Bgp.atom (v "x") (v "pp") (v "y") ] in
+  let ucq = Ucq.of_cqs [ q ] in
+  Alcotest.(check bool) "materialization failure" true
+    (try ignore (Engine.Executor.eval_ucq ex ucq); false
+     with Engine.Profile.Engine_failure
+            { reason = Engine.Profile.Materialization_overflow _; _ } -> true)
+
+let test_operation_budget_failure () =
+  let profile =
+    { tiny_profile with Engine.Profile.max_union_terms = 100;
+      max_operations = 3 }
+  in
+  let ex = Engine.Executor.create ~profile (store ()) in
+  let q = Bgp.make [ v "x"; v "y" ] [ Bgp.atom (v "x") (v "pp") (v "y") ] in
+  Alcotest.(check bool) "operation budget failure" true
+    (try ignore (Engine.Executor.eval_cq ex q); false
+     with Engine.Profile.Engine_failure
+            { reason = Engine.Profile.Operation_budget _; _ } -> true)
+
+let test_operations_metered () =
+  let ex = Engine.Executor.create (store ()) in
+  let q = Bgp.make [ v "x"; v "y" ] [ Bgp.atom (v "x") (c (u "p")) (v "y") ] in
+  ignore (Engine.Executor.eval_cq ex q);
+  Alcotest.(check bool) "ops counted" true (Engine.Executor.last_operations ex > 0)
+
+(* ---- explain ---- *)
+
+let test_explain_positive_and_monotone () =
+  let ex = Engine.Executor.create (store ()) in
+  let q =
+    Bgp.make [ v "x"; v "k" ]
+      [
+        Bgp.atom (v "x") (c typ) (v "k");
+        Bgp.atom (v "x") (c (u "q")) (v "y");
+      ]
+  in
+  let cost cover =
+    Engine.Executor.explain_cost ex (Jucq.make ~reformulate q cover)
+  in
+  let cu = cost (Jucq.ucq_cover q) and cs = cost (Jucq.scq_cover q) in
+  Alcotest.(check bool) "positive" true (cu > 0.0 && cs > 0.0)
+
+(* substring containment, avoiding a Str dependency *)
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+(* ---- SQL rendering ---- *)
+
+let test_sql_cq () =
+  let st = store () in
+  let q =
+    Bgp.make [ v "x" ]
+      [
+        Bgp.atom (v "x") (c typ) (c (u "A"));
+        Bgp.atom (v "x") (c (u "p")) (v "y");
+      ]
+  in
+  let sql = Engine.Sql.cq st q in
+  Alcotest.(check bool) "mentions Triples twice" true
+    (List.length (String.split_on_char 't' sql) > 2);
+  Alcotest.(check bool) "has join predicate" true
+    (contains sql "t1.s = t0.s")
+
+let test_sql_missing_constant () =
+  let st = store () in
+  let q = Bgp.make [ v "x" ] [ Bgp.atom (v "x") (c (u "nosuch")) (v "y") ] in
+  let sql = Engine.Sql.cq st q in
+  Alcotest.(check bool) "always-false predicate" true
+    (contains sql "1 = 0")
+
+let test_sql_union_and_jucq () =
+  let st = store () in
+  let q =
+    Bgp.make [ v "x" ]
+      [
+        Bgp.atom (v "x") (c typ) (c (u "B"));
+        Bgp.atom (v "x") (c (u "q")) (v "y");
+      ]
+  in
+  let sql_u = Engine.Sql.ucq st (reformulate q) in
+  Alcotest.(check bool) "has UNION" true
+    (contains sql_u "UNION");
+  let j = Jucq.make ~reformulate q (Jucq.scq_cover q) in
+  let sql_j = Engine.Sql.jucq st j in
+  Alcotest.(check bool) "join of fragments" true
+    (contains sql_j "f0.x = f1.x")
+
+(* ---- Plan ---- *)
+
+let test_plan_describe () =
+  let ex = Engine.Executor.create (store ()) in
+  let q =
+    Bgp.make [ v "x"; v "k" ]
+      [
+        Bgp.atom (v "x") (c typ) (v "k");
+        Bgp.atom (v "x") (c (u "q")) (v "y");
+      ]
+  in
+  let j = Jucq.make ~reformulate q (Jucq.scq_cover q) in
+  let plan = Engine.Plan.describe ex j in
+  Alcotest.(check int) "two fragments" 2 (List.length plan.Engine.Plan.fragments);
+  (* fragments sorted by estimated rows, ascending *)
+  (match plan.Engine.Plan.fragments with
+  | [ a; b ] ->
+      Alcotest.(check bool) "ascending" true
+        (a.Engine.Plan.estimated_rows <= b.Engine.Plan.estimated_rows)
+  | _ -> Alcotest.fail "expected two fragments");
+  let text = Engine.Plan.to_string plan in
+  Alcotest.(check bool) "mentions dedup" true (contains text "Dedup");
+  Alcotest.(check bool) "mentions hash join" true (contains text "Fragment")
+
+(* ---- qcheck: engine vs naive on random data ---- *)
+
+let gen_node = QCheck2.Gen.(map (fun i -> u (Printf.sprintf "n%d" i)) (int_bound 5))
+let gen_propt = QCheck2.Gen.(map (fun i -> u (Printf.sprintf "p%d" i)) (int_bound 3))
+
+let gen_graph =
+  QCheck2.Gen.(
+    map
+      (fun triples -> Rdf.Graph.of_triples triples)
+      (list_size (int_bound 40)
+         (let* s = gen_node and* p = gen_propt and* o = gen_node in
+          return (tr s p o))))
+
+let gen_chain_query =
+  QCheck2.Gen.(
+    let* n = int_range 1 3 in
+    let* props = list_size (return n) gen_propt in
+    let atoms =
+      List.mapi
+        (fun i p ->
+          Bgp.atom
+            (v (Printf.sprintf "x%d" i))
+            (c p)
+            (v (Printf.sprintf "x%d" (i + 1))))
+        props
+    in
+    return (Bgp.make [ v "x0" ] atoms))
+
+let prop_engine_matches_naive =
+  QCheck2.Test.make ~count:300 ~name:"engine CQ evaluation = naive evaluation"
+    QCheck2.Gen.(pair gen_graph gen_chain_query)
+    (fun (g, q) ->
+      let ex = Engine.Executor.create (Store.Encoded_store.of_graph g) in
+      Engine.Executor.decode ex (Engine.Executor.eval_cq ex q) = Bgp.eval g q)
+
+let prop_jucq_covers_consistent =
+  QCheck2.Test.make ~count:200
+    ~name:"engine JUCQ = engine UCQ for identity reformulation"
+    QCheck2.Gen.(pair gen_graph gen_chain_query)
+    (fun (g, q) ->
+      let ex = Engine.Executor.create (Store.Encoded_store.of_graph g) in
+      let ident cq = Ucq.of_cqs [ cq ] in
+      let direct = Engine.Executor.decode ex (Engine.Executor.eval_cq ex q) in
+      List.for_all
+        (fun cover ->
+          match Jucq.check_cover q cover with
+          | Error _ -> true
+          | Ok () ->
+              let j = Jucq.make ~reformulate:ident q cover in
+              Engine.Executor.decode ex (Engine.Executor.eval_jucq ex j)
+              = direct)
+        [ Jucq.ucq_cover q; Jucq.scq_cover q ])
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_engine_matches_naive; prop_jucq_covers_consistent ]
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "relation",
+        [
+          Alcotest.test_case "basics" `Quick test_relation_basics;
+          Alcotest.test_case "arity check" `Quick test_relation_arity_check;
+          Alcotest.test_case "zero arity" `Quick test_relation_zero_arity;
+        ] );
+      ( "evaluation",
+        [
+          Alcotest.test_case "cq = naive" `Quick test_cq_matches_naive;
+          Alcotest.test_case "head constant absent from data" `Quick test_head_constant_absent_from_data;
+          Alcotest.test_case "ucq = naive" `Quick test_ucq_matches_naive;
+          Alcotest.test_case "jucq = reference" `Quick test_jucq_matches_reference;
+          Alcotest.test_case "jucq = answer (Thm 3.1)" `Quick test_jucq_equals_answer;
+          Alcotest.test_case "bnl join = hash join" `Quick test_block_nested_loop_join_agrees;
+          Alcotest.test_case "join order avoids cartesian" `Quick test_join_order_avoids_cartesian;
+        ] );
+      ( "failures",
+        [
+          Alcotest.test_case "union capacity" `Quick test_union_capacity_failure;
+          Alcotest.test_case "materialization overflow" `Quick test_materialization_failure;
+          Alcotest.test_case "operation budget" `Quick test_operation_budget_failure;
+          Alcotest.test_case "operations metered" `Quick test_operations_metered;
+        ] );
+      ( "explain",
+        [ Alcotest.test_case "positive cost" `Quick test_explain_positive_and_monotone ] );
+      ( "plan",
+        [ Alcotest.test_case "describe" `Quick test_plan_describe ] );
+      ( "sql",
+        [
+          Alcotest.test_case "cq" `Quick test_sql_cq;
+          Alcotest.test_case "missing constant" `Quick test_sql_missing_constant;
+          Alcotest.test_case "union and jucq" `Quick test_sql_union_and_jucq;
+        ] );
+      ("properties", qcheck_cases);
+    ]

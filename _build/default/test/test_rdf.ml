@@ -1,0 +1,565 @@
+(* Tests for the RDF substrate: terms, triples, schema closure, graphs,
+   saturation, dictionary encoding and N-Triples round-trips. *)
+
+let u s = Rdf.Term.uri s
+let lit s = Rdf.Term.literal s
+let bn s = Rdf.Term.bnode s
+let tr s p o = Rdf.Triple.make s p o
+let typ = Rdf.Vocab.rdf_type
+
+(* The running example of the paper: Figure 3's book graph. *)
+let book_schema =
+  Rdf.Schema.of_constraints
+    [
+      Rdf.Schema.Subclass (u "Book", u "Publication");
+      Rdf.Schema.Subproperty (u "writtenBy", u "hasAuthor");
+      Rdf.Schema.Domain (u "writtenBy", u "Book");
+      Rdf.Schema.Range (u "writtenBy", u "Person");
+      Rdf.Schema.Domain (u "hasAuthor", u "Book");
+      Rdf.Schema.Range (u "hasAuthor", u "Person");
+    ]
+
+let book_graph =
+  Rdf.Graph.make book_schema
+    [
+      tr (u "doi1") typ (u "Book");
+      tr (u "doi1") (u "writtenBy") (bn "b1");
+      tr (u "doi1") (u "hasTitle") (lit "Game of Thrones");
+      tr (bn "b1") (u "hasName") (lit "George R. R. Martin");
+      tr (u "doi1") (u "publishedIn") (lit "1996");
+    ]
+
+(* ---- Term ---- *)
+
+let test_term_roundtrip () =
+  List.iter
+    (fun t ->
+      Alcotest.(check bool) "roundtrip" true
+        (Rdf.Term.equal t (Rdf.Term.of_string (Rdf.Term.to_string t))))
+    [ u "http://example.org/a"; lit "hello world"; bn "b42"; lit "" ]
+
+let test_term_order () =
+  Alcotest.(check bool) "uri < literal" true (Rdf.Term.compare (u "z") (lit "a") < 0);
+  Alcotest.(check bool) "literal < bnode" true (Rdf.Term.compare (lit "z") (bn "a") < 0);
+  Alcotest.(check int) "equal terms" 0 (Rdf.Term.compare (u "a") (u "a"))
+
+let test_term_predicates () =
+  Alcotest.(check bool) "is_uri" true (Rdf.Term.is_uri (u "a"));
+  Alcotest.(check bool) "is_literal" true (Rdf.Term.is_literal (lit "a"));
+  Alcotest.(check bool) "is_bnode" true (Rdf.Term.is_bnode (bn "a"));
+  Alcotest.(check bool) "uri not literal" false (Rdf.Term.is_literal (u "a"))
+
+let test_term_hash_consistent () =
+  Alcotest.(check int) "hash equal" (Rdf.Term.hash (u "x")) (Rdf.Term.hash (u "x"))
+
+(* ---- Triple ---- *)
+
+let test_triple_wellformed () =
+  Alcotest.check_raises "literal property"
+    (Invalid_argument "Triple.make: property must be a URI") (fun () ->
+      ignore (tr (u "a") (lit "p") (u "b")))
+
+let test_triple_kinds () =
+  let t1 = tr (u "a") typ (u "C") in
+  let t2 = tr (u "a") (u "p") (u "b") in
+  let t3 = tr (u "C") Rdf.Vocab.rdfs_subclassof (u "D") in
+  Alcotest.(check bool) "class assertion" true (Rdf.Triple.is_class_assertion t1);
+  Alcotest.(check bool) "property assertion" true (Rdf.Triple.is_property_assertion t2);
+  Alcotest.(check bool) "schema constraint" true (Rdf.Triple.is_schema_constraint t3);
+  Alcotest.(check bool) "exclusive" false (Rdf.Triple.is_property_assertion t1)
+
+(* ---- Schema ---- *)
+
+let lubm_like_schema =
+  Rdf.Schema.of_constraints
+    [
+      Rdf.Schema.Subclass (u "FullProfessor", u "Professor");
+      Rdf.Schema.Subclass (u "Professor", u "Faculty");
+      Rdf.Schema.Subclass (u "Faculty", u "Employee");
+      Rdf.Schema.Subproperty (u "headOf", u "worksFor");
+      Rdf.Schema.Subproperty (u "worksFor", u "memberOf");
+      Rdf.Schema.Domain (u "worksFor", u "Employee");
+      Rdf.Schema.Range (u "memberOf", u "Organization");
+    ]
+
+let term_set = Alcotest.testable
+    (fun fmt s ->
+      Format.pp_print_string fmt
+        (String.concat ","
+           (List.map Rdf.Term.to_string (Rdf.Term.Set.elements s))))
+    Rdf.Term.Set.equal
+
+let set_of xs = Rdf.Term.Set.of_list xs
+
+let test_schema_subclass_transitive () =
+  Alcotest.check term_set "superclasses of FullProfessor"
+    (set_of [ u "Professor"; u "Faculty"; u "Employee" ])
+    (Rdf.Schema.super_classes lubm_like_schema (u "FullProfessor"));
+  Alcotest.check term_set "subclasses of Employee"
+    (set_of [ u "Faculty"; u "Professor"; u "FullProfessor" ])
+    (Rdf.Schema.sub_classes lubm_like_schema (u "Employee"))
+
+let test_schema_subproperty_transitive () =
+  Alcotest.check term_set "superproperties of headOf"
+    (set_of [ u "worksFor"; u "memberOf" ])
+    (Rdf.Schema.super_properties lubm_like_schema (u "headOf"))
+
+let test_schema_domain_closure () =
+  (* headOf ⊑ worksFor, worksFor domain Employee: headOf inherits the
+     domain; Employee's superclasses are included too. *)
+  Alcotest.check term_set "domains of headOf"
+    (set_of [ u "Employee" ])
+    (Rdf.Schema.domains lubm_like_schema (u "headOf"));
+  Alcotest.check term_set "ranges of headOf"
+    (set_of [ u "Organization" ])
+    (Rdf.Schema.ranges lubm_like_schema (u "headOf"))
+
+let test_schema_domain_subclass_closure () =
+  let s =
+    Rdf.Schema.of_constraints
+      [
+        Rdf.Schema.Domain (u "p", u "C");
+        Rdf.Schema.Subclass (u "C", u "D");
+      ]
+  in
+  Alcotest.check term_set "domain closed under subclass"
+    (set_of [ u "C"; u "D" ])
+    (Rdf.Schema.domains s (u "p"))
+
+let test_schema_inverse_typing () =
+  Alcotest.check term_set "properties with domain Employee"
+    (set_of [ u "worksFor"; u "headOf" ])
+    (Rdf.Schema.properties_with_domain lubm_like_schema (u "Employee"));
+  Alcotest.check term_set "properties with range Organization"
+    (set_of [ u "memberOf"; u "worksFor"; u "headOf" ])
+    (Rdf.Schema.properties_with_range lubm_like_schema (u "Organization"))
+
+let test_schema_cyclic () =
+  (* Cyclic subclass graphs must not loop. *)
+  let s =
+    Rdf.Schema.of_constraints
+      [ Rdf.Schema.Subclass (u "A", u "B"); Rdf.Schema.Subclass (u "B", u "A") ]
+  in
+  Alcotest.(check bool) "A ⊑ B" true (Rdf.Schema.is_subclass s (u "A") (u "B"));
+  Alcotest.(check bool) "B ⊑ A" true (Rdf.Schema.is_subclass s (u "B") (u "A"))
+
+let test_schema_triple_roundtrip () =
+  List.iter
+    (fun c ->
+      match Rdf.Schema.constr_of_triple (Rdf.Schema.constr_to_triple c) with
+      | Some c' -> Alcotest.(check bool) "roundtrip" true (c = c')
+      | None -> Alcotest.fail "constraint lost in translation")
+    (Rdf.Schema.constraints lubm_like_schema)
+
+let test_schema_equal_closure () =
+  let s1 =
+    Rdf.Schema.of_constraints
+      [ Rdf.Schema.Subclass (u "A", u "B"); Rdf.Schema.Subclass (u "B", u "C") ]
+  in
+  let s2 =
+    Rdf.Schema.of_constraints
+      [
+        Rdf.Schema.Subclass (u "A", u "B");
+        Rdf.Schema.Subclass (u "B", u "C");
+        Rdf.Schema.Subclass (u "A", u "C");  (* entailed anyway *)
+      ]
+  in
+  Alcotest.(check bool) "same closure" true (Rdf.Schema.equal_closure s1 s2);
+  Alcotest.(check bool) "different closure" false
+    (Rdf.Schema.equal_closure s1 lubm_like_schema)
+
+(* ---- Graph ---- *)
+
+let test_graph_routes_constraints () =
+  let g =
+    Rdf.Graph.of_triples
+      [
+        tr (u "Book") Rdf.Vocab.rdfs_subclassof (u "Publication");
+        tr (u "doi1") typ (u "Book");
+      ]
+  in
+  Alcotest.(check int) "one fact" 1 (Rdf.Graph.size g);
+  Alcotest.(check int) "one constraint" 1 (Rdf.Schema.size (Rdf.Graph.schema g))
+
+let test_graph_values () =
+  let vals = Rdf.Graph.values book_graph in
+  Alcotest.(check bool) "subject present" true (Rdf.Term.Set.mem (u "doi1") vals);
+  Alcotest.(check bool) "literal present" true (Rdf.Term.Set.mem (lit "1996") vals);
+  Alcotest.(check bool) "bnode present" true (Rdf.Term.Set.mem (bn "b1") vals)
+
+let test_graph_add_fact_rejects_constraint () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore
+         (Rdf.Graph.add_fact
+            (tr (u "A") Rdf.Vocab.rdfs_subclassof (u "B"))
+            Rdf.Graph.empty);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---- Saturation ---- *)
+
+let test_saturation_example2 () =
+  (* Figure 3: the dashed (implicit) triples. *)
+  let sat = Rdf.Saturation.saturate book_graph in
+  let facts = Rdf.Graph.facts sat in
+  List.iter
+    (fun t ->
+      Alcotest.(check bool) ("derived " ^ Rdf.Triple.to_string t) true
+        (Rdf.Triple.Set.mem t facts))
+    [
+      tr (u "doi1") typ (u "Publication");
+      tr (u "doi1") (u "hasAuthor") (bn "b1");
+      tr (bn "b1") typ (u "Person");
+    ];
+  (* Example 1 facts remain. *)
+  Alcotest.(check bool) "explicit kept" true
+    (Rdf.Triple.Set.mem (tr (u "doi1") typ (u "Book")) facts)
+
+let test_saturation_idempotent () =
+  let s1 = Rdf.Saturation.saturate book_graph in
+  let s2 = Rdf.Saturation.saturate s1 in
+  Alcotest.(check bool) "fixpoint" true (Rdf.Graph.equal s1 s2);
+  Alcotest.(check bool) "is_saturated" true (Rdf.Saturation.is_saturated s1)
+
+let test_saturation_incremental () =
+  let sat = Rdf.Saturation.saturate book_graph in
+  let extra = [ tr (u "doi2") (u "writtenBy") (u "author2") ] in
+  let inc = Rdf.Saturation.saturate_incremental sat extra in
+  let full =
+    Rdf.Saturation.saturate
+      (List.fold_left (fun g t -> Rdf.Graph.add_fact t g) book_graph extra)
+  in
+  Alcotest.(check bool) "incremental = full" true (Rdf.Graph.equal inc full)
+
+let test_saturation_entails () =
+  Alcotest.(check bool) "entails implicit" true
+    (Rdf.Saturation.entails book_graph (tr (u "doi1") typ (u "Publication")));
+  Alcotest.(check bool) "does not entail junk" false
+    (Rdf.Saturation.entails book_graph (tr (u "doi1") typ (u "Person")))
+
+let test_saturation_range_literal () =
+  (* Generalized RDF: range typing applies to literal objects too. *)
+  let s = Rdf.Schema.of_constraints [ Rdf.Schema.Range (u "p", u "C") ] in
+  let g = Rdf.Graph.make s [ tr (u "a") (u "p") (lit "v") ] in
+  Alcotest.(check bool) "literal typed" true
+    (Rdf.Saturation.entails g (tr (lit "v") typ (u "C")))
+
+(* ---- Dictionary ---- *)
+
+let test_dictionary_roundtrip () =
+  let d = Rdf.Dictionary.create () in
+  let terms = [ u "a"; lit "a"; bn "a"; u "b"; lit "long literal value" ] in
+  let codes = List.map (Rdf.Dictionary.encode d) terms in
+  Alcotest.(check (list int)) "dense codes" [ 0; 1; 2; 3; 4 ] codes;
+  List.iteri
+    (fun i t ->
+      Alcotest.(check bool) "decode" true
+        (Rdf.Term.equal t (Rdf.Dictionary.decode d i)))
+    terms;
+  Alcotest.(check int) "stable" 0 (Rdf.Dictionary.encode d (u "a"));
+  Alcotest.(check int) "cardinal" 5 (Rdf.Dictionary.cardinal d)
+
+let test_dictionary_growth () =
+  let d = Rdf.Dictionary.create ~initial_capacity:2 () in
+  for i = 0 to 99 do
+    ignore (Rdf.Dictionary.encode d (u (string_of_int i)))
+  done;
+  Alcotest.(check int) "hundred" 100 (Rdf.Dictionary.cardinal d);
+  Alcotest.(check bool) "decode 73" true
+    (Rdf.Term.equal (u "73") (Rdf.Dictionary.decode d 73))
+
+let test_dictionary_unknown_code () =
+  let d = Rdf.Dictionary.create () in
+  Alcotest.(check bool) "raises" true
+    (try ignore (Rdf.Dictionary.decode d 0); false
+     with Invalid_argument _ -> true)
+
+(* ---- N-Triples ---- *)
+
+let test_ntriples_roundtrip () =
+  let triples =
+    Rdf.Triple.Set.elements (Rdf.Graph.facts book_graph)
+    @ List.map Rdf.Schema.constr_to_triple (Rdf.Schema.constraints book_schema)
+  in
+  let doc = Rdf.Ntriples.print_string triples in
+  let back = Rdf.Ntriples.parse_string doc in
+  Alcotest.(check int) "count" (List.length triples) (List.length back);
+  List.iter2
+    (fun a b -> Alcotest.(check bool) "triple" true (Rdf.Triple.equal a b))
+    triples back
+
+let test_ntriples_comments_blanks () =
+  let doc = "# a comment\n\n<a> <p> \"x\" .\n   \n# end\n" in
+  Alcotest.(check int) "one triple" 1 (List.length (Rdf.Ntriples.parse_string doc))
+
+let test_ntriples_file_roundtrip () =
+  let path = Filename.temp_file "rqa" ".nt" in
+  Rdf.Ntriples.save_file path book_graph;
+  let g = Rdf.Ntriples.load_file path in
+  Sys.remove path;
+  Alcotest.(check bool) "graph equal" true (Rdf.Graph.equal g book_graph)
+
+(* ---- Turtle ---- *)
+
+let ub_ns = Rdf.Namespace.of_list [ ("ex", "http://example.org/") ]
+
+let test_turtle_parse_basic () =
+  let doc = {|
+@prefix ex: <http://example.org/> .
+ex:doi1 a ex:Book ;
+  ex:writtenBy _:b1 ;
+  ex:hasTitle "Game of Thrones", "GoT" .
+_:b1 ex:hasName "George R. R. Martin" .
+|} in
+  let triples = Rdf.Turtle.parse doc in
+  Alcotest.(check int) "five triples" 5 (List.length triples);
+  Alcotest.(check bool) "type triple present" true
+    (List.exists
+       (fun (t : Rdf.Triple.t) ->
+         Rdf.Term.equal t.pred typ
+         && Rdf.Term.equal t.obj (u "http://example.org/Book"))
+       triples);
+  Alcotest.(check bool) "object list expanded" true
+    (List.exists
+       (fun (t : Rdf.Triple.t) -> Rdf.Term.equal t.obj (lit "GoT"))
+       triples)
+
+let test_turtle_roundtrip () =
+  let triples =
+    [
+      tr (u "http://example.org/s1") typ (u "http://example.org/C");
+      tr (u "http://example.org/s1") (u "http://example.org/p") (lit "v \"quoted\"");
+      tr (u "http://example.org/s1") (u "http://example.org/p") (u "http://example.org/o");
+      tr (bn "b7") (u "http://example.org/q") (u "http://example.org/s1");
+    ]
+  in
+  let doc = Rdf.Turtle.print ~namespaces:ub_ns triples in
+  let back = Rdf.Turtle.parse doc in
+  Alcotest.(check int) "count" (List.length triples) (List.length back);
+  List.iter
+    (fun t ->
+      Alcotest.(check bool) ("roundtrip " ^ Rdf.Triple.to_string t) true
+        (List.exists (Rdf.Triple.equal t) back))
+    triples
+
+let test_turtle_rejects_unsupported () =
+  List.iter
+    (fun doc ->
+      Alcotest.(check bool) ("rejects: " ^ doc) true
+        (try ignore (Rdf.Turtle.parse doc); false
+         with Invalid_argument _ -> true))
+    [
+      "<a> <p> \"x\"@en .";
+      "<a> <p> ( <b> <c> ) .";
+      "<a> <p> [ <q> <r> ] .";
+      "@base <http://x/> .";
+      "<a> <p> .";
+    ]
+
+let test_turtle_file_roundtrip () =
+  let path = Filename.temp_file "rqa" ".ttl" in
+  Rdf.Turtle.save_file path book_graph;
+  let g = Rdf.Turtle.load_file path in
+  Sys.remove path;
+  Alcotest.(check bool) "graph equal" true (Rdf.Graph.equal g book_graph)
+
+let test_turtle_reads_ntriples_style () =
+  (* N-Triples is a Turtle subset. *)
+  let doc = Rdf.Ntriples.print_string (Rdf.Graph.fact_list book_graph) in
+  Alcotest.(check int) "same count"
+    (Rdf.Graph.size book_graph)
+    (List.length (Rdf.Turtle.parse doc))
+
+(* ---- Namespace ---- *)
+
+let test_namespace_compact () =
+  let ns = Rdf.Namespace.of_list [ ("ub", "http://ub.example/onto#") ] in
+  Alcotest.(check string) "compact" "ub:Professor"
+    (Rdf.Namespace.compact ns (u "http://ub.example/onto#Professor"));
+  Alcotest.(check string) "rdf builtin" "rdf:type"
+    (Rdf.Namespace.compact ns Rdf.Vocab.rdf_type);
+  Alcotest.(check string) "no match stays full" "<http://other.org/x>"
+    (Rdf.Namespace.compact ns (u "http://other.org/x"));
+  Alcotest.(check string) "literal untouched" "\"42\""
+    (Rdf.Namespace.compact ns (lit "42"))
+
+let test_namespace_longest_wins () =
+  let ns =
+    Rdf.Namespace.of_list
+      [ ("a", "http://x.org/"); ("b", "http://x.org/deep/") ]
+  in
+  Alcotest.(check string) "longest base" "b:leaf"
+    (Rdf.Namespace.compact ns (u "http://x.org/deep/leaf"));
+  Alcotest.(check string) "short base" "a:other"
+    (Rdf.Namespace.compact ns (u "http://x.org/other"))
+
+let test_namespace_expand () =
+  let ns = Rdf.Namespace.of_list [ ("ub", "http://ub#") ] in
+  Alcotest.(check (option string)) "expand" (Some "http://ub#X")
+    (Rdf.Namespace.expand ns "ub:X");
+  Alcotest.(check (option string)) "unknown prefix" None
+    (Rdf.Namespace.expand ns "zz:X");
+  Alcotest.(check (option string)) "no colon" None
+    (Rdf.Namespace.expand ns "plain")
+
+let test_namespace_validation () =
+  Alcotest.(check bool) "colon prefix rejected" true
+    (try ignore (Rdf.Namespace.add ~prefix:"a:b" ~base:"http://x/" Rdf.Namespace.empty); false
+     with Invalid_argument _ -> true)
+
+(* ---- qcheck properties ---- *)
+
+let gen_uri = QCheck2.Gen.(map (fun i -> u (Printf.sprintf "n%d" i)) (int_bound 8))
+let gen_class = QCheck2.Gen.(map (fun i -> u (Printf.sprintf "C%d" i)) (int_bound 5))
+let gen_prop = QCheck2.Gen.(map (fun i -> u (Printf.sprintf "p%d" i)) (int_bound 4))
+
+let gen_constr =
+  QCheck2.Gen.(
+    oneof
+      [
+        map2 (fun a b -> Rdf.Schema.Subclass (a, b)) gen_class gen_class;
+        map2 (fun a b -> Rdf.Schema.Subproperty (a, b)) gen_prop gen_prop;
+        map2 (fun p c -> Rdf.Schema.Domain (p, c)) gen_prop gen_class;
+        map2 (fun p c -> Rdf.Schema.Range (p, c)) gen_prop gen_class;
+      ])
+
+let gen_schema =
+  QCheck2.Gen.(map Rdf.Schema.of_constraints (list_size (int_bound 6) gen_constr))
+
+let gen_fact =
+  QCheck2.Gen.(
+    oneof
+      [
+        map2 (fun s c -> tr s typ c) gen_uri gen_class;
+        map2 (fun (s, p) o -> tr s p o) (pair gen_uri gen_prop)
+          (oneof [ gen_uri; map lit (map string_of_int (int_bound 3)) ]);
+      ])
+
+let gen_graph =
+  QCheck2.Gen.(
+    map2
+      (fun s facts -> Rdf.Graph.make s facts)
+      gen_schema
+      (list_size (int_bound 20) gen_fact))
+
+let prop_saturation_idempotent =
+  QCheck2.Test.make ~count:200 ~name:"saturate is idempotent" gen_graph
+    (fun g ->
+      let s = Rdf.Saturation.saturate g in
+      Rdf.Graph.equal s (Rdf.Saturation.saturate s))
+
+let prop_saturation_monotone =
+  QCheck2.Test.make ~count:200 ~name:"saturation contains original facts"
+    gen_graph (fun g ->
+      Rdf.Triple.Set.subset (Rdf.Graph.facts g)
+        (Rdf.Graph.facts (Rdf.Saturation.saturate g)))
+
+let prop_incremental_saturation =
+  QCheck2.Test.make ~count:200 ~name:"incremental = from-scratch saturation"
+    QCheck2.Gen.(pair gen_graph (list_size (int_bound 8) gen_fact))
+    (fun (g, extra) ->
+      let sat = Rdf.Saturation.saturate g in
+      let inc = Rdf.Saturation.saturate_incremental sat extra in
+      let full =
+        Rdf.Saturation.saturate
+          (List.fold_left (fun g t -> Rdf.Graph.add_fact t g) g extra)
+      in
+      Rdf.Graph.equal inc full)
+
+let prop_dictionary_roundtrip =
+  QCheck2.Test.make ~count:200 ~name:"dictionary encode/decode roundtrip"
+    QCheck2.Gen.(list_size (int_bound 50) gen_uri)
+    (fun terms ->
+      let d = Rdf.Dictionary.create () in
+      List.for_all
+        (fun t -> Rdf.Term.equal t (Rdf.Dictionary.decode d (Rdf.Dictionary.encode d t)))
+        terms)
+
+let prop_ntriples_roundtrip =
+  QCheck2.Test.make ~count:200 ~name:"ntriples parse/print roundtrip"
+    QCheck2.Gen.(list_size (int_bound 20) gen_fact)
+    (fun triples ->
+      let back = Rdf.Ntriples.parse_string (Rdf.Ntriples.print_string triples) in
+      List.length back = List.length triples
+      && List.for_all2 Rdf.Triple.equal triples back)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_saturation_idempotent;
+      prop_saturation_monotone;
+      prop_incremental_saturation;
+      prop_dictionary_roundtrip;
+      prop_ntriples_roundtrip;
+    ]
+
+let () =
+  Alcotest.run "rdf"
+    [
+      ( "term",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_term_roundtrip;
+          Alcotest.test_case "order" `Quick test_term_order;
+          Alcotest.test_case "predicates" `Quick test_term_predicates;
+          Alcotest.test_case "hash" `Quick test_term_hash_consistent;
+        ] );
+      ( "triple",
+        [
+          Alcotest.test_case "wellformed" `Quick test_triple_wellformed;
+          Alcotest.test_case "kinds" `Quick test_triple_kinds;
+        ] );
+      ( "schema",
+        [
+          Alcotest.test_case "subclass transitivity" `Quick test_schema_subclass_transitive;
+          Alcotest.test_case "subproperty transitivity" `Quick test_schema_subproperty_transitive;
+          Alcotest.test_case "domain closure" `Quick test_schema_domain_closure;
+          Alcotest.test_case "domain under subclass" `Quick test_schema_domain_subclass_closure;
+          Alcotest.test_case "inverse typing" `Quick test_schema_inverse_typing;
+          Alcotest.test_case "cyclic hierarchies" `Quick test_schema_cyclic;
+          Alcotest.test_case "constraint/triple roundtrip" `Quick test_schema_triple_roundtrip;
+          Alcotest.test_case "closure equality" `Quick test_schema_equal_closure;
+        ] );
+      ( "graph",
+        [
+          Alcotest.test_case "constraint routing" `Quick test_graph_routes_constraints;
+          Alcotest.test_case "values" `Quick test_graph_values;
+          Alcotest.test_case "add_fact rejects constraints" `Quick test_graph_add_fact_rejects_constraint;
+        ] );
+      ( "saturation",
+        [
+          Alcotest.test_case "paper example 2" `Quick test_saturation_example2;
+          Alcotest.test_case "idempotent" `Quick test_saturation_idempotent;
+          Alcotest.test_case "incremental" `Quick test_saturation_incremental;
+          Alcotest.test_case "entails" `Quick test_saturation_entails;
+          Alcotest.test_case "range over literal" `Quick test_saturation_range_literal;
+        ] );
+      ( "dictionary",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_dictionary_roundtrip;
+          Alcotest.test_case "growth" `Quick test_dictionary_growth;
+          Alcotest.test_case "unknown code" `Quick test_dictionary_unknown_code;
+        ] );
+      ( "ntriples",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_ntriples_roundtrip;
+          Alcotest.test_case "comments and blanks" `Quick test_ntriples_comments_blanks;
+          Alcotest.test_case "file roundtrip" `Quick test_ntriples_file_roundtrip;
+        ] );
+      ( "turtle",
+        [
+          Alcotest.test_case "parse" `Quick test_turtle_parse_basic;
+          Alcotest.test_case "roundtrip" `Quick test_turtle_roundtrip;
+          Alcotest.test_case "rejects unsupported" `Quick test_turtle_rejects_unsupported;
+          Alcotest.test_case "file roundtrip" `Quick test_turtle_file_roundtrip;
+          Alcotest.test_case "reads N-Triples" `Quick test_turtle_reads_ntriples_style;
+        ] );
+      ( "namespace",
+        [
+          Alcotest.test_case "compact" `Quick test_namespace_compact;
+          Alcotest.test_case "longest base wins" `Quick test_namespace_longest_wins;
+          Alcotest.test_case "expand" `Quick test_namespace_expand;
+          Alcotest.test_case "validation" `Quick test_namespace_validation;
+        ] );
+      ("properties", qcheck_cases);
+    ]

@@ -1,0 +1,232 @@
+(* Tests for the LUBM and DBLP workloads: the ontology reproduces the
+   paper's reformulation statistics (Tables 1-4), the generators are
+   deterministic and well-typed, and the evaluation queries have answers
+   whose completeness requires reasoning. *)
+
+open Query
+
+let v x = Bgp.Var x
+let c t = Bgp.Const t
+let typ = Rdf.Vocab.rdf_type
+
+let lubm_reformulator = Reformulation.Reformulate.create Workloads.Lubm.schema
+let dblp_reformulator = Reformulation.Reformulate.create Workloads.Dblp.schema
+
+(* ---- Table 1 / Table 3: per-triple reformulation counts ---- *)
+
+let test_lubm_open_type_atom_is_188 () =
+  Alcotest.(check int) "(x rdf:type y) has 188 reformulations" 188
+    (Reformulation.Reformulate.atom_count lubm_reformulator
+       (Bgp.atom (v "x") (c typ) (v "y")))
+
+let test_lubm_degree_and_member_atoms () =
+  let count p =
+    Reformulation.Reformulate.atom_count lubm_reformulator
+      (Bgp.atom (v "x")
+         (c (Rdf.Term.uri (Workloads.Lubm.ns ^ p)))
+         (c (Workloads.Lubm.university 0)))
+  in
+  Alcotest.(check int) "degreeFrom: 4 (Table 1, t2)" 4 (count "degreeFrom");
+  Alcotest.(check int) "memberOf: 3 (Table 1, t3)" 3 (count "memberOf");
+  Alcotest.(check int) "mastersDegreeFrom: 1 (Table 3)" 1
+    (count "mastersDegreeFrom")
+
+let test_q01_reformulation_size () =
+  Alcotest.(check int) "|q1_ref| = 2,256 (Table 1)" 2256
+    (Reformulation.Reformulate.count lubm_reformulator
+       (Workloads.Lubm.query "Q01"))
+
+let test_q28_reformulation_size () =
+  Alcotest.(check int) "|q2_ref| = 318,096 (Table 3)" 318096
+    (Reformulation.Reformulate.count_product_bound lubm_reformulator
+       (Workloads.Lubm.query "Q28"))
+
+let test_reformulation_size_spread () =
+  (* Table 4's shape: small, medium and huge reformulations coexist. *)
+  let count name =
+    Reformulation.Reformulate.count_product_bound lubm_reformulator
+      (Workloads.Lubm.query name)
+  in
+  Alcotest.(check bool) "Q17 trivial" true (count "Q17" = 1);
+  Alcotest.(check bool) "Q15 beyond DB2 capacity" true (count "Q15" > 8000);
+  Alcotest.(check bool) "Q18 beyond MySQL capacity" true (count "Q18" > 60000);
+  Alcotest.(check bool) "Q19 between DB2 and MySQL" true
+    (count "Q19" > 8000 && count "Q19" < 60000)
+
+(* ---- generators ---- *)
+
+let small = { Workloads.Lubm.universities = 1 }
+
+let test_lubm_generator_deterministic () =
+  let s1 = Workloads.Lubm.generate small in
+  let s2 = Workloads.Lubm.generate small in
+  Alcotest.(check int) "same size"
+    (Store.Encoded_store.size s1) (Store.Encoded_store.size s2);
+  Alcotest.(check bool) "same graph" true
+    (Rdf.Graph.equal
+       (Store.Encoded_store.to_graph s1)
+       (Store.Encoded_store.to_graph s2))
+
+let test_lubm_generator_seed_sensitivity () =
+  let s1 = Workloads.Lubm.generate ~seed:1 small in
+  let s2 = Workloads.Lubm.generate ~seed:2 small in
+  Alcotest.(check bool) "different seeds differ" false
+    (Rdf.Graph.equal
+       (Store.Encoded_store.to_graph s1)
+       (Store.Encoded_store.to_graph s2))
+
+let test_lubm_generator_scales () =
+  let s1 = Store.Encoded_store.size (Workloads.Lubm.generate small) in
+  let s3 =
+    Store.Encoded_store.size
+      (Workloads.Lubm.generate { Workloads.Lubm.universities = 3 })
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "3 universities (%d) ≈ 3 × 1 university (%d)" s3 s1)
+    true
+    (s3 > 2 * s1 && s3 < 4 * s1)
+
+let test_lubm_only_explicit_specific_types () =
+  (* The generator must not assert implicit knowledge: no explicit
+     ub:Person or ub:degreeFrom triples. *)
+  let g = Workloads.Lubm.generate_graph small in
+  let person = Rdf.Term.uri (Workloads.Lubm.ns ^ "Person") in
+  let degree_from = Rdf.Term.uri (Workloads.Lubm.ns ^ "degreeFrom") in
+  Rdf.Triple.Set.iter
+    (fun (t : Rdf.Triple.t) ->
+      if Rdf.Term.equal t.pred typ && Rdf.Term.equal t.obj person then
+        Alcotest.fail "explicit ub:Person assertion";
+      if Rdf.Term.equal t.pred degree_from then
+        Alcotest.fail "explicit ub:degreeFrom assertion")
+    (Rdf.Graph.facts g)
+
+let test_lubm_queries_need_reasoning () =
+  (* Q01 has answers only through reformulation/saturation. *)
+  let g = Workloads.Lubm.generate_graph { Workloads.Lubm.universities = 2 } in
+  let q = Workloads.Lubm.query "Q01" in
+  Alcotest.(check bool) "direct evaluation incomplete" true
+    (Bgp.eval g q = []);
+  Alcotest.(check bool) "answers exist under reasoning" true
+    (Bgp.answer g q <> [])
+
+let test_lubm_q17_triangle_exists () =
+  let g = Workloads.Lubm.generate_graph small in
+  Alcotest.(check bool) "triangle answers" true
+    (Bgp.answer g (Workloads.Lubm.query "Q17") <> [])
+
+let test_dblp_generator () =
+  let s = Workloads.Dblp.generate { Workloads.Dblp.publications = 200 } in
+  Alcotest.(check bool) "nonempty" true (Store.Encoded_store.size s > 600);
+  let s2 = Workloads.Dblp.generate { Workloads.Dblp.publications = 200 } in
+  Alcotest.(check int) "deterministic"
+    (Store.Encoded_store.size s) (Store.Encoded_store.size s2)
+
+let test_dblp_queries_parse_and_answer () =
+  let g = Workloads.Dblp.generate_graph { Workloads.Dblp.publications = 60 } in
+  List.iter
+    (fun (name, q) ->
+      if name <> "Q10" then begin
+        (* every query evaluates; most have answers at this scale *)
+        let n = List.length (Bgp.answer g q) in
+        if name = "Q01" || name = "Q02" then
+          Alcotest.(check bool) (name ^ " has answers") true (n > 0)
+      end)
+    Workloads.Dblp.queries
+
+let test_dblp_q10_shape () =
+  let q10 = Workloads.Dblp.query "Q10" in
+  Alcotest.(check int) "ten atoms" 10 (List.length q10.Bgp.body);
+  let bound =
+    Reformulation.Reformulate.count_product_bound dblp_reformulator q10
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "~1.9M reformulations (got %d)" bound)
+    true
+    (bound > 1_500_000 && bound < 2_500_000)
+
+let test_dblp_creator_implicit () =
+  (* dblp:creator facts exist only via dblp:author/dblp:editor. *)
+  let g = Workloads.Dblp.generate_graph { Workloads.Dblp.publications = 50 } in
+  let creator = Rdf.Term.uri (Workloads.Dblp.ns ^ "creator") in
+  Rdf.Triple.Set.iter
+    (fun (t : Rdf.Triple.t) ->
+      if Rdf.Term.equal t.pred creator then
+        Alcotest.fail "explicit dblp:creator assertion")
+    (Rdf.Graph.facts g);
+  let q = Workloads.Dblp.query "Q01" in
+  Alcotest.(check bool) "Q01 empty without reasoning" true (Bgp.eval g q = [])
+
+(* ---- end-to-end: strategies agree on workload data ---- *)
+
+let test_strategies_agree_on_lubm () =
+  let store = Workloads.Lubm.generate small in
+  let sys = Rqa.Answering.make store in
+  List.iter
+    (fun name ->
+      let q = Workloads.Lubm.query name in
+      let expected = Rqa.Answering.answer_terms sys Rqa.Answering.Saturation q in
+      List.iter
+        (fun strat ->
+          Alcotest.(check bool)
+            (name ^ " " ^ Rqa.Answering.strategy_name strat)
+            true
+            (Rqa.Answering.answer_terms sys strat q = expected))
+        [ Rqa.Answering.Ucq; Rqa.Answering.Scq; Rqa.Answering.Gcov ])
+    [ "Q01"; "Q03"; "Q05"; "Q07"; "Q11"; "Q17"; "Q20"; "Q22"; "Q25" ]
+
+let test_gcov_answers_all_lubm_queries () =
+  (* The headline claim: the GCov-chosen JUCQ always completes, on every
+     evaluation query, and agrees with saturation. *)
+  let store = Workloads.Lubm.generate small in
+  let sys = Rqa.Answering.make store in
+  List.iter
+    (fun (name, q) ->
+      let sat = Rqa.Answering.answer_terms sys Rqa.Answering.Saturation q in
+      let gcov = Rqa.Answering.answer_terms sys Rqa.Answering.Gcov q in
+      Alcotest.(check bool) (name ^ " GCov = saturation") true (gcov = sat))
+    Workloads.Lubm.queries
+
+let test_gcov_answers_all_dblp_queries () =
+  let store = Workloads.Dblp.generate { Workloads.Dblp.publications = 400 } in
+  let sys = Rqa.Answering.make store in
+  List.iter
+    (fun (name, q) ->
+      let sat = Rqa.Answering.answer_terms sys Rqa.Answering.Saturation q in
+      let gcov = Rqa.Answering.answer_terms sys Rqa.Answering.Gcov q in
+      Alcotest.(check bool) (name ^ " GCov = saturation") true (gcov = sat))
+    Workloads.Dblp.queries
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ( "lubm_schema",
+        [
+          Alcotest.test_case "open type atom = 188" `Quick test_lubm_open_type_atom_is_188;
+          Alcotest.test_case "degree/member atoms (Table 1)" `Quick test_lubm_degree_and_member_atoms;
+          Alcotest.test_case "Q01 = 2,256" `Quick test_q01_reformulation_size;
+          Alcotest.test_case "Q28 = 318,096" `Quick test_q28_reformulation_size;
+          Alcotest.test_case "size spread (Table 4)" `Quick test_reformulation_size_spread;
+        ] );
+      ( "lubm_generator",
+        [
+          Alcotest.test_case "deterministic" `Quick test_lubm_generator_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_lubm_generator_seed_sensitivity;
+          Alcotest.test_case "linear scaling" `Quick test_lubm_generator_scales;
+          Alcotest.test_case "no implicit assertions" `Quick test_lubm_only_explicit_specific_types;
+          Alcotest.test_case "queries need reasoning" `Quick test_lubm_queries_need_reasoning;
+          Alcotest.test_case "Q17 triangles" `Quick test_lubm_q17_triangle_exists;
+        ] );
+      ( "dblp",
+        [
+          Alcotest.test_case "generator" `Quick test_dblp_generator;
+          Alcotest.test_case "queries answer" `Quick test_dblp_queries_parse_and_answer;
+          Alcotest.test_case "Q10 shape" `Quick test_dblp_q10_shape;
+          Alcotest.test_case "creator implicit" `Quick test_dblp_creator_implicit;
+        ] );
+      ( "end_to_end",
+        [
+          Alcotest.test_case "strategies agree on LUBM" `Slow test_strategies_agree_on_lubm;
+          Alcotest.test_case "GCov completes all 28 LUBM queries" `Slow test_gcov_answers_all_lubm_queries;
+          Alcotest.test_case "GCov completes all 10 DBLP queries" `Slow test_gcov_answers_all_dblp_queries;
+        ] );
+    ]
