@@ -33,6 +33,7 @@ let now_ms () = Unix.gettimeofday () *. 1000.0
 (* ---------- configuration ---------- *)
 
 type config = {
+  scale : string;
   lubm_small : int;   (* universities *)
   lubm_large : int;
   dblp_pubs : int;
@@ -49,6 +50,7 @@ let parse_config () =
   let cfg =
     ref
       {
+        scale = "default";
         lubm_small = 8;
         lubm_large = 40;
         dblp_pubs = 15_000;
@@ -63,11 +65,18 @@ let parse_config () =
         (cfg :=
            match s with
            | "quick" ->
-               { !cfg with lubm_small = 2; lubm_large = 8; dblp_pubs = 4_000 }
-           | "default" -> !cfg
+               {
+                 !cfg with
+                 scale = s;
+                 lubm_small = 2;
+                 lubm_large = 8;
+                 dblp_pubs = 4_000;
+               }
+           | "default" -> { !cfg with scale = s }
            | "full" ->
                {
                  !cfg with
+                 scale = s;
                  lubm_small = 20;
                  lubm_large = 190;
                  dblp_pubs = 150_000;
@@ -563,6 +572,39 @@ let minimization ctx =
 
 (* ---------- Bechamel micro-benchmarks ---------- *)
 
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+(* Machine-readable mirror of the bechamel run: name -> ns/run.  When a
+   [BENCH_engine_baseline.json] sits next to the executable's cwd, its raw
+   contents ride along under a ["baseline"] key so before/after pairs live
+   in one file. *)
+let write_bench_json ~scale results =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"unit\": \"ns/run\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"scale\": %S,\n" scale);
+  Buffer.add_string buf "  \"results\": {\n";
+  let n = List.length results in
+  List.iteri
+    (fun i (name, est) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    %S: %.1f%s\n" name est
+           (if i = n - 1 then "" else ",")))
+    results;
+  Buffer.add_string buf "  }";
+  if Sys.file_exists "BENCH_engine_baseline.json" then begin
+    Buffer.add_string buf ",\n  \"baseline\": ";
+    Buffer.add_string buf (String.trim (read_file "BENCH_engine_baseline.json"))
+  end;
+  Buffer.add_string buf "\n}\n";
+  let oc = open_out "BENCH_engine.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "\n[bechamel] wrote BENCH_engine.json (%d benchmarks)\n%!" n
+
 let bechamel_suite ctx =
   header "Bechamel micro-benchmarks (one per table/figure)";
   let ds = Lazy.force ctx.lubm_s in
@@ -642,14 +684,25 @@ let bechamel_suite ctx =
       Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
     in
     let results = Analyze.all ols instance raw in
+    let acc = ref [] in
     Hashtbl.iter
       (fun name result ->
         match Analyze.OLS.estimates result with
-        | Some [ est ] -> Printf.printf "%-36s %14.1f ns/run\n%!" name est
+        | Some [ est ] ->
+            Printf.printf "%-36s %14.1f ns/run\n%!" name est;
+            (* drop the grouping prefix ("g/") for the JSON keys *)
+            let key =
+              match String.index_opt name '/' with
+              | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+              | None -> name
+            in
+            acc := (key, est) :: !acc
         | _ -> Printf.printf "%-36s (no estimate)\n%!" name)
-      results
+      results;
+    !acc
   in
-  List.iter benchmark tests
+  let results = List.concat_map benchmark tests in
+  write_bench_json ~scale:ctx.cfg.scale results
 
 (* ---------- main ---------- *)
 

@@ -1,1 +1,1 @@
-lib/core/answering.ml: Bgp Cost_model Cover_space Ecov Engine Gcov Jucq Lazy List Objective Query Reformulation Store Sys
+lib/core/answering.ml: Bgp Cost_model Cover_space Ecov Engine Gcov Jucq Lazy List Objective Query Reformulation Store Unix

@@ -77,8 +77,8 @@ type report = {
   union_terms : int;             (** total CQs across fragments ([|q_ref|]-like) *)
   estimated_cost : float;        (** cost the oracle assigned to the plan run *)
   covers_explored : int;         (** ECov/GCov search effort *)
-  planning_ms : float;           (** reformulation + search time *)
-  execution_ms : float;          (** engine evaluation time *)
+  planning_ms : float;           (** reformulation + search wall-clock time *)
+  execution_ms : float;          (** engine evaluation wall-clock time *)
 }
 
 val answer : system -> strategy -> Query.Bgp.t -> report

@@ -1,1 +1,1 @@
-lib/engine/executor.ml: Array Bgp Hashtbl Int Jucq List Profile Query Rdf Relation Store String Ucq
+lib/engine/executor.ml: Array Bgp Hashtbl Int Jucq List Profile Query Rdf Relation Rowtable Store String Ucq

@@ -1,1 +1,1 @@
-lib/engine/relation.ml: Array Hashtbl
+lib/engine/relation.ml: Array Rowtable

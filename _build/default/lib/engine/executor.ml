@@ -1,15 +1,65 @@
 open Query
 module Es = Store.Encoded_store
 
+(* The plan cache (below) is keyed by the query's physical identity: a
+   JUCQ/UCQ holds on to its disjunct [Bgp.t] values, so re-evaluating a
+   prepared statement re-encounters the very same objects.  Equality is
+   pointer equality; the hash is a deep-enough structural hash that
+   same-shaped disjuncts (which share their first few words) spread over
+   the buckets. *)
+module Plan_key = struct
+  type t = Bgp.t
+
+  let equal = ( == )
+  let hash q = Hashtbl.hash_param 64 256 q
+end
+
+module Plan_tbl = Hashtbl.Make (Plan_key)
+
+module Ucq_key = struct
+  type t = Ucq.t
+
+  let equal = ( == )
+  let hash u = Hashtbl.hash_param 16 64 u
+end
+
+module Ucq_tbl = Hashtbl.Make (Ucq_key)
+
+type slot = V of int | K of int
+
+type eatom = { es : slot; ep : slot; eo : slot }
+
+type ecq = {
+  nvars : int;
+  head : slot array;
+  atoms : eatom array;
+  prop_codes : int option array;  (* constant property code per atom, if any *)
+}
+
+type plan = { pcq : ecq; porder : int array }
+
 type t = {
   store : Es.t;
   profile : Profile.t;
   stats : Store.Statistics.t;
   mutable ops : int;
+  plans : plan option Plan_tbl.t;
+  ucq_plans : plan option array Ucq_tbl.t;  (* one entry per disjunct *)
+  mutable plans_version : int;  (* store version the cached plans assume *)
 }
 
+let plan_cache_limit = 65_536
+
 let create ?(profile = Profile.postgres_like) store =
-  { store; profile; stats = Store.Statistics.create store; ops = 0 }
+  {
+    store;
+    profile;
+    stats = Store.Statistics.create store;
+    ops = 0;
+    plans = Plan_tbl.create 256;
+    ucq_plans = Ucq_tbl.create 64;
+    plans_version = Es.version store;
+  }
 
 let store t = t.store
 let profile t = t.profile
@@ -32,17 +82,6 @@ let check_materialization t rel =
          { rows; limit = t.profile.Profile.max_materialized_rows })
 
 (* ---- CQ compilation ---- *)
-
-type slot = V of int | K of int
-
-type eatom = { es : slot; ep : slot; eo : slot }
-
-type ecq = {
-  nvars : int;
-  head : slot array;
-  atoms : eatom array;
-  prop_codes : int option array;  (* constant property code per atom, if any *)
-}
 
 exception Unsatisfiable  (* a query constant absent from the dictionary *)
 
@@ -89,24 +128,22 @@ let compile t (q : Bgp.t) : ecq =
 
 (* ---- atom ordering (greedy selectivity) ---- *)
 
-let slot_bound bindings = function
-  | K c -> Some c
-  | V v -> if bindings.(v) >= 0 then Some bindings.(v) else None
+(* The access-path code of a slot under the current bindings: a constant's
+   code, a bound variable's value, or -1 (the store's wildcard sentinel)
+   for an unbound variable — which is exactly the unbound marker in
+   [bindings], so no option is ever allocated on the probe path. *)
+let slot_code bindings = function K c -> c | V v -> bindings.(v)
 
 (* Planning-time estimate of an atom's output given which variables are
    already bound: the exact count for the constant positions, discounted by
    per-property NDV for each bound variable position. *)
 let plan_estimate t (cq : ecq) i (bound : bool array) =
   let a = cq.atoms.(i) in
-  let const_only = function K c -> Some c | V _ -> None in
+  let const_only = function K c -> c | V _ -> -1 in
   let base =
     float_of_int
-      (Es.count t.store
-         {
-           Es.ps = const_only a.es;
-           pp = const_only a.ep;
-           po = const_only a.eo;
-         })
+      (Es.count_codes t.store ~s:(const_only a.es) ~p:(const_only a.ep)
+         ~o:(const_only a.eo))
   in
   let bound_var = function V v -> bound.(v) | K _ -> false in
   let discount pos =
@@ -159,62 +196,136 @@ let order_atoms t (cq : ecq) =
 
 (* ---- CQ execution: index nested loops ---- *)
 
-let exec_cq t (cq : ecq) ~(emit : int array -> unit) =
+(* Unifies one atom position against a stored value.  A constant must
+   equal it; an unbound variable binds, recording its index in
+   [undo.(upos)] so the caller can roll back; a bound variable must agree.
+   Top-level on purpose: no closure is allocated per probed triple. *)
+let unify bindings undo upos slot value =
+  match slot with
+  | K c -> c = value
+  | V v ->
+      if Array.unsafe_get bindings v = -1 then begin
+        Array.unsafe_set bindings v value;
+        undo.(upos) <- v;
+        true
+      end
+      else Array.unsafe_get bindings v = value
+
+let exec_cq t (p : plan) ~(emit : int array -> unit) =
+  let cq = p.pcq in
   let bindings = Array.make (max 1 cq.nvars) (-1) in
-  let order = order_atoms t cq in
+  let order = p.porder in
+  let natoms = Array.length order in
   let head_buf = Array.make (Array.length cq.head) 0 in
+  (* Per-depth rollback slots: level [k] records at most the three
+     variables its atom bound in [undo.(3k) .. undo.(3k+2)] (-1 = none).
+     Preallocated once — the per-row path allocates nothing. *)
+  let undo = Array.make (max 1 (3 * natoms)) (-1) in
   let rec step k =
-    if k = Array.length order then begin
-      Array.iteri
-        (fun j s ->
-          head_buf.(j) <-
-            (match s with K c -> c | V v -> bindings.(v)))
-        cq.head;
+    if k = natoms then begin
+      for j = 0 to Array.length cq.head - 1 do
+        head_buf.(j) <-
+          (match Array.unsafe_get cq.head j with
+          | K c -> c
+          | V v -> Array.unsafe_get bindings v)
+      done;
       charge t 1;
       emit head_buf
     end
     else begin
       let a = cq.atoms.(order.(k)) in
-      let pat =
-        {
-          Es.ps = slot_bound bindings a.es;
-          pp = slot_bound bindings a.ep;
-          po = slot_bound bindings a.eo;
-        }
+      let s = slot_code bindings a.es
+      and p = slot_code bindings a.ep
+      and o = slot_code bindings a.eo in
+      (* One index lookup serves both the charge (the per-access unit of
+         [max 1 (n/64)] plus one unit per visited id, batched — same total
+         as charging ids one by one, so the operation budget trips on the
+         same statements) and the iteration. *)
+      let sel = Es.select t.store ~s ~p ~o in
+      let n = Es.selected_count sel in
+      charge t (max 1 (n / 64) + n);
+      let base = 3 * k in
+      let probe id =
+        let ts = Es.unsafe_subject t.store id
+        and tp = Es.unsafe_property t.store id
+        and tob = Es.unsafe_obj t.store id in
+        if
+          unify bindings undo base a.es ts
+          && unify bindings undo (base + 1) a.ep tp
+          && unify bindings undo (base + 2) a.eo tob
+        then step (k + 1);
+        for j = base to base + 2 do
+          let v = undo.(j) in
+          if v >= 0 then begin
+            bindings.(v) <- -1;
+            undo.(j) <- -1
+          end
+        done
       in
-      let ids = Es.matching t.store pat in
-      let n = Store.Intvec.length ids in
-      charge t (max 1 (n / 64));
-      for idx = 0 to n - 1 do
-        let id = Store.Intvec.get ids idx in
-        charge t 1;
-        let s = Es.subject t.store id
-        and p = Es.property t.store id
-        and o = Es.obj t.store id in
-        (* Unify the unbound variable positions; remember what to undo. *)
-        let undo = ref [] in
-        let unify slot value =
-          match slot with
-          | K c -> c = value
-          | V v ->
-              if bindings.(v) = -1 then begin
-                bindings.(v) <- value;
-                undo := v :: !undo;
-                true
-              end
-              else bindings.(v) = value
-        in
-        if unify a.es s && unify a.ep p && unify a.eo o then step (k + 1);
-        List.iter (fun v -> bindings.(v) <- -1) !undo
-      done
+      match sel with
+      | Es.Miss -> ()
+      | Es.Hit _ ->
+          (* Every position is bound and the triple is stored: the match
+             is already proved, no reads or unification needed. *)
+          step (k + 1)
+      | Es.Ids v ->
+          for idx = 0 to n - 1 do
+            probe (Store.Intvec.unsafe_get v idx)
+          done
+      | Es.All n ->
+          for id = 0 to n - 1 do
+            probe id
+          done
     end
   in
   step 0
 
-let eval_cq_into t (q : Bgp.t) (out : Relation.t) =
+(* Plans (compile + atom order) are pure reads of the store and its
+   statistics — neither phase calls [charge] — so memoizing them changes
+   nothing about which statements fail or why.  The cache is keyed by the
+   query's physical identity (a prepared UCQ/JUCQ re-presents the same
+   disjunct objects on every evaluation) and is dropped wholesale when the
+   store version moves, since statistics-driven atom orders may shift. *)
+let flush_stale_plans t =
+  let v = Es.version t.store in
+  if v <> t.plans_version then begin
+    Plan_tbl.reset t.plans;
+    Ucq_tbl.reset t.ucq_plans;
+    t.plans_version <- v
+  end
+
+let compile_plan t (q : Bgp.t) =
   match compile t q with
-  | exception Unsatisfiable -> ()
-  | cq -> exec_cq t cq ~emit:(fun row -> Relation.append out row)
+  | exception Unsatisfiable -> None
+  | cq -> Some { pcq = cq; porder = order_atoms t cq }
+
+let plan_of t (q : Bgp.t) =
+  flush_stale_plans t;
+  match Plan_tbl.find_opt t.plans q with
+  | Some p -> p
+  | None ->
+      let p = compile_plan t q in
+      if Plan_tbl.length t.plans < plan_cache_limit then Plan_tbl.add t.plans q p;
+      p
+
+(* UCQ-level plan memoization: one cache probe per fragment evaluation
+   covers every disjunct, instead of one structural hash per disjunct. *)
+let ucq_plans t (u : Ucq.t) =
+  flush_stale_plans t;
+  match Ucq_tbl.find_opt t.ucq_plans u with
+  | Some ps -> ps
+  | None ->
+      let ps =
+        Array.of_list (List.map (compile_plan t) (Ucq.disjuncts u))
+      in
+      if Ucq_tbl.length t.ucq_plans < plan_cache_limit then
+        Ucq_tbl.add t.ucq_plans u ps;
+      ps
+
+let eval_cq_into t (q : Bgp.t) (out : Relation.t) =
+  match plan_of t q with
+  | None -> ()
+  | Some p -> exec_cq t p ~emit:(fun row -> Relation.append out row)
 
 let eval_cq t (q : Bgp.t) =
   t.ops <- 0;
@@ -233,11 +344,12 @@ let eval_ucq_fragment t (u : Ucq.t) =
       (Profile.Union_capacity
          { terms; limit = t.profile.Profile.max_union_terms });
   let out = Relation.create ~cols:(Ucq.arity u) in
-  List.iter
-    (fun cq ->
-      eval_cq_into t cq out;
+  let emit row = Relation.append out row in
+  Array.iter
+    (fun p ->
+      (match p with None -> () | Some p -> exec_cq t p ~emit);
       check_materialization t out)
-    (Ucq.disjuncts u);
+    (ucq_plans t u);
   charge t (Relation.rows out);
   let result = Relation.dedup out in
   check_materialization t result;
@@ -262,31 +374,79 @@ let positions columns names =
       go 0 columns)
     names
 
+(* Hash join on the shared columns.  The hash table is built on the
+   {e smaller} input and probed with the larger — the accumulated
+   multi-fragment join result is usually the larger side, and building on
+   it was a classic build-side inversion.  Distinct keys are entries of a
+   specialized {!Rowtable}; the build rows sharing a key are chained
+   through a [next] array by row index (the entry's payload int is the
+   chain head).  Whatever the orientation, the output schema stays
+   [a.columns @ b_only] and the work accounting is unchanged: one unit per
+   input row on either side plus one per output row — exactly the charges
+   of the always-build-on-[b] implementation, so engine-failure behaviour
+   is preserved. *)
 let hash_join t a b =
   let shared = List.filter (fun v -> List.mem v b.columns) a.columns in
   let b_only = List.filter (fun v -> not (List.mem v shared)) b.columns in
-  let key_a = positions a.columns shared
-  and key_b = positions b.columns shared
-  and pay_b = positions b.columns b_only in
-  let tbl = Hashtbl.create (max 16 (Relation.rows b.rel)) in
-  Relation.iter
-    (fun row ->
+  let key_a = Array.of_list (positions a.columns shared)
+  and key_b = Array.of_list (positions b.columns shared)
+  and pay_b = Array.of_list (positions b.columns b_only) in
+  let na_cols = List.length a.columns in
+  let npay = Array.length pay_b in
+  let nkeys = Array.length key_a in
+  let out = Relation.create ~cols:(na_cols + npay) in
+  let buf = Array.make (na_cols + npay) 0 in
+  let adata = Relation.unsafe_data a.rel
+  and bdata = Relation.unsafe_data b.rel in
+  let bcols = Relation.cols b.rel in
+  let emit aoff boff =
+    charge t 1;
+    Array.blit adata aoff buf 0 na_cols;
+    for j = 0 to npay - 1 do
+      buf.(na_cols + j) <- bdata.(boff + Array.unsafe_get pay_b j)
+    done;
+    Relation.append out buf
+  in
+  let build_on_b = Relation.rows b.rel <= Relation.rows a.rel in
+  let build_rel, build_key, build_data, build_cols =
+    if build_on_b then (b.rel, key_b, bdata, bcols)
+    else (a.rel, key_a, adata, na_cols)
+  in
+  let nbuild = Relation.rows build_rel in
+  let tbl = Rowtable.create ~width:nkeys ~capacity:(max 16 nbuild) () in
+  let next = Array.make (max 1 nbuild) (-1) in
+  let kbuf = Array.make (max 1 nkeys) 0 in
+  for i = 0 to nbuild - 1 do
+    charge t 1;
+    let off = i * build_cols in
+    for j = 0 to nkeys - 1 do
+      kbuf.(j) <- build_data.(off + Array.unsafe_get build_key j)
+    done;
+    let e = Rowtable.find_or_add tbl kbuf 0 in
+    next.(i) <- Rowtable.value tbl e;
+    Rowtable.set_value tbl e i
+  done;
+  let probe_rel, probe_key =
+    if build_on_b then (a.rel, key_a) else (b.rel, key_b)
+  in
+  Relation.iteri_flat
+    (fun _ pdata poff ->
       charge t 1;
-      let k = List.map (fun j -> row.(j)) key_b in
-      let payload = List.map (fun j -> row.(j)) pay_b in
-      Hashtbl.add tbl k payload)
-    b.rel;
-  let out = Relation.create ~cols:(List.length a.columns + List.length b_only) in
-  Relation.iter
-    (fun row ->
-      charge t 1;
-      let k = List.map (fun j -> row.(j)) key_a in
-      List.iter
-        (fun payload ->
-          charge t 1;
-          Relation.append out (Array.of_list (Array.to_list row @ payload)))
-        (Hashtbl.find_all tbl k))
-    a.rel;
+      for j = 0 to nkeys - 1 do
+        kbuf.(j) <- pdata.(poff + Array.unsafe_get probe_key j)
+      done;
+      let e = Rowtable.find tbl kbuf 0 in
+      if e >= 0 then begin
+        let rec chase i =
+          if i >= 0 then begin
+            if build_on_b then emit poff (i * bcols)
+            else emit (i * na_cols) poff;
+            chase next.(i)
+          end
+        in
+        chase (Rowtable.value tbl e)
+      end)
+    probe_rel;
   check_materialization t out;
   { columns = a.columns @ b_only; rel = out }
 
@@ -299,23 +459,29 @@ let block_nested_loop_join t a b =
   let na_cols = List.length a.columns in
   let out = Relation.create ~cols:(na_cols + Array.length pay_b) in
   let nb = Relation.rows b.rel in
-  (* materialize the inner relation as plain rows once: the quadratic scan
-     is the point of this profile, the per-cell bounds checks are not *)
-  let b_rows = Array.init nb (Relation.row b.rel) in
+  (* the quadratic rescan of the inner relation is the point of this
+     profile; it runs on the flat backing array, no row materialization *)
+  let bdata = Relation.unsafe_data b.rel in
+  let bcols = Relation.cols b.rel in
   let nkeys = Array.length key_a in
-  let buf = Array.make (na_cols + Array.length pay_b) 0 in
-  Relation.iter
-    (fun row_a ->
+  let npay = Array.length pay_b in
+  let buf = Array.make (na_cols + npay) 0 in
+  Relation.iteri_flat
+    (fun _ adata aoff ->
       charge t nb;
       for i = 0 to nb - 1 do
-        let row_b = b_rows.(i) in
+        let boff = i * bcols in
         let rec matches k =
           k >= nkeys
-          || (row_a.(key_a.(k)) = row_b.(key_b.(k)) && matches (k + 1))
+          || adata.(aoff + Array.unsafe_get key_a k)
+             = bdata.(boff + Array.unsafe_get key_b k)
+             && matches (k + 1)
         in
         if matches 0 then begin
-          Array.blit row_a 0 buf 0 na_cols;
-          Array.iteri (fun k j -> buf.(na_cols + k) <- row_b.(j)) pay_b;
+          Array.blit adata aoff buf 0 na_cols;
+          for j = 0 to npay - 1 do
+            buf.(na_cols + j) <- bdata.(boff + Array.unsafe_get pay_b j)
+          done;
           Relation.append out buf
         end
       done)
@@ -401,21 +567,31 @@ let eval_jucq t (j : Jucq.t) =
                 `Const (Rdf.Dictionary.encode (Es.dictionary t.store) c)))
       j.Jucq.head
   in
-  let out = Relation.create ~cols:(List.length head_cols) in
-  let buf = Array.make (List.length head_cols) 0 in
-  Relation.iter
-    (fun row ->
+  (* Head projection fused with duplicate elimination: each joined row is
+     projected into [buf] and appended only if its head is new.  The work
+     accounting is that of the former materialize-then-dedup pipeline (one
+     unit per joined row, then one per pre-dedup projected row — the same
+     count), so the same statements fail for the same reasons. *)
+  let head_cols = Array.of_list head_cols in
+  let nhead = Array.length head_cols in
+  let out = Relation.create ~cols:nhead in
+  let buf = Array.make nhead 0 in
+  let njoined = Relation.rows joined.rel in
+  let seen = Rowtable.create ~width:nhead ~capacity:(max 16 njoined) () in
+  Relation.iteri_flat
+    (fun _ data off ->
       charge t 1;
-      List.iteri
-        (fun i c ->
-          buf.(i) <- (match c with `Col j' -> row.(j') | `Const code -> code))
-        head_cols;
-      Relation.append out buf)
+      for i = 0 to nhead - 1 do
+        buf.(i) <-
+          (match Array.unsafe_get head_cols i with
+          | `Col j' -> data.(off + j')
+          | `Const code -> code)
+      done;
+      if Rowtable.add_if_absent seen buf 0 then Relation.append out buf)
     joined.rel;
-  charge t (Relation.rows out);
-  let result = Relation.dedup out in
-  check_materialization t result;
-  result
+  charge t njoined;
+  check_materialization t out;
+  out
 
 (* ---- decoding ---- *)
 

@@ -51,6 +51,21 @@ val eval_jucq : t -> Query.Jucq.t -> Relation.t
 val decode : t -> Relation.t -> Rdf.Term.t list list
 (** Decodes a result relation to sorted term rows (test/report surface). *)
 
+type named_rel = { columns : string list; rel : Relation.t }
+(** A materialized relation with named columns — the unit the fragment
+    joins operate on. *)
+
+val hash_join : t -> named_rel -> named_rel -> named_rel
+(** Hash join of two fragments on their shared columns (bag semantics, one
+    output row per matching pair; output columns are [a]'s followed by
+    [b]'s non-shared ones).  Builds on the smaller input, probes the
+    larger.  Exposed for differential testing against reference joins.
+    @raise Profile.Engine_failure on capacity/budget violations. *)
+
+val block_nested_loop_join : t -> named_rel -> named_rel -> named_rel
+(** The MySQL-profile quadratic join; same semantics as {!hash_join}, same
+    testing purpose. *)
+
 val explain_cost : t -> Query.Jucq.t -> float
 (** The engine's {e internal} optimizer cost estimate for a JUCQ — the
     [EXPLAIN] analogue used as the alternative cost oracle in Figure 9.

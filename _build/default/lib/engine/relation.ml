@@ -22,6 +22,13 @@ let append r row =
   Array.blit row 0 r.data (r.nrows * r.ncols) r.ncols;
   r.nrows <- r.nrows + 1
 
+let append_slice r src off =
+  if off < 0 || off + r.ncols > Array.length src then
+    invalid_arg "Relation.append_slice: slice out of bounds";
+  ensure_capacity r;
+  Array.blit src off r.data (r.nrows * r.ncols) r.ncols;
+  r.nrows <- r.nrows + 1
+
 let get r i j =
   if i < 0 || i >= r.nrows || j < 0 || j >= r.ncols then
     invalid_arg "Relation.get: out of bounds";
@@ -31,10 +38,26 @@ let row r i =
   if i < 0 || i >= r.nrows then invalid_arg "Relation.row: out of bounds";
   Array.sub r.data (i * r.ncols) r.ncols
 
+let unsafe_data r = r.data
+
 let iter f r =
   for i = 0 to r.nrows - 1 do
     f (Array.sub r.data (i * r.ncols) r.ncols)
   done
+
+let iteri_flat f r =
+  let w = r.ncols in
+  for i = 0 to r.nrows - 1 do
+    f i r.data (i * w)
+  done
+
+let fold_rows f init r =
+  let w = r.ncols in
+  let acc = ref init in
+  for i = 0 to r.nrows - 1 do
+    acc := f !acc r.data (i * w)
+  done;
+  !acc
 
 let project r columns =
   Array.iter
@@ -50,15 +73,13 @@ let project r columns =
   out
 
 let dedup r =
-  let seen = Hashtbl.create (max 16 r.nrows) in
   let out = create ~cols:r.ncols in
-  iter
-    (fun row ->
-      if not (Hashtbl.mem seen row) then begin
-        Hashtbl.add seen row ();
-        append out row
-      end)
-    r;
+  let seen = Rowtable.create ~width:r.ncols ~capacity:(max 16 r.nrows) () in
+  let w = r.ncols in
+  for i = 0 to r.nrows - 1 do
+    let off = i * w in
+    if Rowtable.add_if_absent seen r.data off then append_slice out r.data off
+  done;
   out
 
 let to_list r =

@@ -1,0 +1,47 @@
+(** Open-addressing hash table specialized to fixed-width int-row keys.
+
+    Keys are [width]-wide slices [src.(off) .. src.(off+width-1)] of plain
+    [int array]s — relation rows, join keys, projected heads.  Inserted
+    keys are copied into one flat backing array; slots are a power-of-two
+    linear-probing table hashed with FNV-1a over the key words.  No
+    per-entry boxing, no polymorphic hashing, no allocation on lookups or
+    inserts (amortized): the engine's dedup and hash-join paths are built
+    on this.
+
+    Each entry additionally carries one mutable [int] of client payload
+    (initially [-1]); the hash join threads its bucket chains through it. *)
+
+type t
+
+val create : width:int -> ?capacity:int -> unit -> t
+(** A fresh table for keys of [width] ints ([width >= 0]; a zero-width
+    table holds at most one entry, the empty key).  [capacity] is a hint
+    for the number of expected entries. *)
+
+val length : t -> int
+(** Number of distinct keys stored. *)
+
+val width : t -> int
+(** Key width, in ints. *)
+
+val find_or_add : t -> int array -> int -> int
+(** [find_or_add t src off] looks up the key slice at [src.(off) ..]; if
+    absent, copies it into the table as a new entry with value [-1].
+    Returns the entry index (dense, insertion-ordered: [0 .. length-1]).
+    Compare {!length} before and after to detect an insert. *)
+
+val add_if_absent : t -> int array -> int -> bool
+(** [add_if_absent t src off] inserts the key slice if new and reports
+    whether it was inserted — duplicate elimination in one call. *)
+
+val find : t -> int array -> int -> int
+(** The entry index of the key slice, or [-1] if absent.  Never inserts. *)
+
+val mem : t -> int array -> int -> bool
+(** Membership of the key slice. *)
+
+val value : t -> int -> int
+(** [value t e] is entry [e]'s payload int ([-1] until set). *)
+
+val set_value : t -> int -> int -> unit
+(** [set_value t e v] overwrites entry [e]'s payload. *)

@@ -86,6 +86,10 @@ let subject t i = Intvec.get t.col_s i
 let property t i = Intvec.get t.col_p i
 let obj t i = Intvec.get t.col_o i
 
+let unsafe_subject t i = Intvec.unsafe_get t.col_s i
+let unsafe_property t i = Intvec.unsafe_get t.col_p i
+let unsafe_obj t i = Intvec.unsafe_get t.col_o i
+
 let empty_vec = Intvec.create ~capacity:1 ()
 
 let find_or_empty tbl key =
@@ -111,6 +115,48 @@ let matching t pat =
       match Hashtbl.find_opt t.ids (s, p, o) with
       | Some id -> Intvec.of_array [| id |]
       | None -> empty_vec)
+
+(* Sentinel-coded access paths: positions carry codes, [-1] is a wildcard.
+   These never materialize an id vector — the all-wildcard and fully-bound
+   shapes, which [matching] must allocate for, are described symbolically —
+   and never allocate an option or a pattern record, so the executor's
+   index-nested-loop probe pays exactly one index lookup per access. *)
+
+type selection = Miss | Hit of int | Ids of Intvec.t | All of int
+
+let select t ~s ~p ~o =
+  if s >= 0 then
+    if p >= 0 then
+      if o >= 0 then (
+        match Hashtbl.find_opt t.ids (s, p, o) with
+        | Some id -> Hit id
+        | None -> Miss)
+      else Ids (find_or_empty t.idx_sp (pack s p))
+    else if o >= 0 then Ids (find_or_empty t.idx_so (pack s o))
+    else Ids (find_or_empty t.idx_s s)
+  else if p >= 0 then
+    if o >= 0 then Ids (find_or_empty t.idx_po (pack p o))
+    else Ids (find_or_empty t.idx_p p)
+  else if o >= 0 then Ids (find_or_empty t.idx_o o)
+  else All (size t)
+
+let selected_count = function
+  | Miss -> 0
+  | Hit _ -> 1
+  | Ids v -> Intvec.length v
+  | All n -> n
+
+let iter_matching t ~s ~p ~o f =
+  match select t ~s ~p ~o with
+  | Miss -> ()
+  | Hit id -> f id
+  | Ids v -> Intvec.iter f v
+  | All n ->
+      for i = 0 to n - 1 do
+        f i
+      done
+
+let count_codes t ~s ~p ~o = selected_count (select t ~s ~p ~o)
 
 let count t pat =
   match (pat.ps, pat.pp, pat.po) with

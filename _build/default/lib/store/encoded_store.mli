@@ -56,6 +56,43 @@ val property : t -> int -> int
 val obj : t -> int -> int
 (** Object code of the [i]-th triple. *)
 
+val unsafe_subject : t -> int -> int
+(** Like {!subject}, without the bounds check: [i] must be a valid triple
+    id (as produced by {!iter_matching} / {!matching}).  For the engine's
+    innermost loops. *)
+
+val unsafe_property : t -> int -> int
+(** Like {!property}, without the bounds check. *)
+
+val unsafe_obj : t -> int -> int
+(** Like {!obj}, without the bounds check. *)
+
+type selection =
+  | Miss               (** a fully-bound pattern that is not stored *)
+  | Hit of int         (** a fully-bound pattern's triple id *)
+  | Ids of Intvec.t    (** a posting list (must not be mutated) *)
+  | All of int         (** every id in [0 .. n-1]: the all-wildcard shape *)
+(** The symbolic result of one index access: what {!matching} materializes
+    an id vector for, described without building one. *)
+
+val select : t -> s:int -> p:int -> o:int -> selection
+(** [select t ~s ~p ~o] resolves a pattern to its access path in a single
+    index lookup, where each position carries a code and [-1] means a
+    wildcard.  The executor's index nested loops get both the match count
+    and the iteration out of one call — {!matching}'s all-wildcard and
+    fully-bound shapes never materialize anything here. *)
+
+val selected_count : selection -> int
+(** Number of triple ids a selection denotes. *)
+
+val iter_matching : t -> s:int -> p:int -> o:int -> (int -> unit) -> unit
+(** [iter_matching t ~s ~p ~o f] calls [f] on every triple id matching the
+    sentinel-coded pattern, via {!select} — no id vector is built. *)
+
+val count_codes : t -> s:int -> p:int -> o:int -> int
+(** Number of triples {!iter_matching} would visit, with the same sentinel
+    convention, as an O(1) index lookup.  Agrees with {!count}. *)
+
 val matching : t -> pattern -> Intvec.t
 (** Triple ids matching a pattern, served from the best index.  The result
     must not be mutated.  Patterns with all three positions bound return a

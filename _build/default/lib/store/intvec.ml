@@ -20,11 +20,13 @@ let check v i =
 
 let get v i = check v i; v.data.(i)
 
+let unsafe_get v i = Array.unsafe_get v.data i
+
 let set v i x = check v i; v.data.(i) <- x
 
 let iter f v =
   for i = 0 to v.len - 1 do
-    f v.data.(i)
+    f (Array.unsafe_get v.data i)
   done
 
 let to_array v = Array.sub v.data 0 v.len

@@ -15,6 +15,12 @@ val push : t -> int -> unit
 val get : t -> int -> int
 (** [get v i] is the [i]-th element.  Bounds-checked. *)
 
+val unsafe_get : t -> int -> int
+(** [unsafe_get v i] is the [i]-th element with {e no} bounds check: the
+    caller must guarantee [0 <= i < length v].  Reserved for the engine's
+    innermost loops (posting-list scans, column reads), where the index is
+    valid by construction. *)
+
 val set : t -> int -> int -> unit
 (** [set v i x] overwrites the [i]-th element.  Bounds-checked. *)
 

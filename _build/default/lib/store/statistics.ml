@@ -9,7 +9,7 @@ type global = {
 
 type t = {
   store : Encoded_store.t;
-  ndv_cache : (int * int, int) Hashtbl.t;  (* (prop, 0=subj|1=obj) -> ndv *)
+  ndv_cache : (int, int) Hashtbl.t;  (* 2*prop + (0=subj|1=obj) -> ndv *)
   cq_cache : (string, float) Hashtbl.t;
   global : global;
   mutable seen_version : int;
@@ -61,7 +61,8 @@ let ensure_global t =
 let ndv t ~prop pos =
   refresh t;
   let tag = match pos with `Subject -> 0 | `Object -> 1 in
-  match Hashtbl.find_opt t.ndv_cache (prop, tag) with
+  (* int-packed key: no tuple allocation on the planner's hot lookups *)
+  match Hashtbl.find_opt t.ndv_cache ((2 * prop) + tag) with
   | Some n -> n
   | None ->
       let seen = Hashtbl.create 64 in
@@ -79,7 +80,7 @@ let ndv t ~prop pos =
           Hashtbl.replace seen v ())
         ids;
       let n = max 1 (Hashtbl.length seen) in
-      Hashtbl.add t.ndv_cache (prop, tag) n;
+      Hashtbl.add t.ndv_cache ((2 * prop) + tag) n;
       n
 
 (* ---- atom counting ---- *)

@@ -1,1 +1,1 @@
-test/test_engine.ml: Alcotest Bgp Engine Format Jucq List Printf QCheck2 QCheck_alcotest Query Rdf Reformulation Store String Ucq
+test/test_engine.ml: Alcotest Array Bgp Engine Format Jucq List Printf QCheck2 QCheck_alcotest Query Rdf Reformulation Rqa Store String Ucq Workloads

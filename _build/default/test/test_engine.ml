@@ -417,6 +417,159 @@ let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
     [ prop_engine_matches_naive; prop_jucq_covers_consistent ]
 
+(* ---- differential: physical operators vs naive references ---- *)
+
+(* The join operators and the RowTable-backed dedup are exercised against
+   straight list-based reference implementations on randomized inputs:
+   narrow value domains force duplicate keys, widths include the 0-column
+   degenerate shape, and sizes include empty relations. *)
+
+let rel_of_rows ~cols rows =
+  let r = Engine.Relation.create ~cols in
+  List.iter (fun row -> Engine.Relation.append r (Array.of_list row)) rows;
+  r
+
+let rows_of_rel r = List.map Array.to_list (Engine.Relation.to_list r)
+
+let sorted_rows rows = List.sort compare rows
+
+(* Reference join: nested loops over lists, matching on shared column
+   names; output is [a]'s row followed by [b]'s non-shared columns — the
+   operators' documented schema. *)
+let ref_join (acols, arows) (bcols, brows) =
+  let shared = List.filter (fun v -> List.mem v bcols) acols in
+  let b_only = List.filter (fun v -> not (List.mem v shared)) bcols in
+  let pos cols v =
+    let rec go i = function
+      | [] -> assert false
+      | c :: _ when String.equal c v -> i
+      | _ :: rest -> go (i + 1) rest
+    in
+    go 0 cols
+  in
+  List.concat_map
+    (fun ra ->
+      List.filter_map
+        (fun rb ->
+          if
+            List.for_all
+              (fun v -> List.nth ra (pos acols v) = List.nth rb (pos bcols v))
+              shared
+          then Some (ra @ List.map (fun v -> List.nth rb (pos bcols v)) b_only)
+          else None)
+        brows)
+    arows
+
+let ref_dedup rows =
+  List.rev
+    (List.fold_left
+       (fun acc r -> if List.mem r acc then acc else r :: acc)
+       [] rows)
+
+(* A pair of named relations with a random (possibly empty) set of shared
+   column names, random shared-column placement in [b], and values drawn
+   from a tiny domain so keys collide often. *)
+let gen_named_pair =
+  QCheck2.Gen.(
+    let gen_row width = list_size (return width) (int_bound 3) in
+    let gen_rows width = list_size (int_bound 8) (gen_row width) in
+    let* na = int_bound 3 in
+    let* nshared = int_bound na in
+    let* nb_extra = int_bound (3 - nshared) in
+    let acols = List.init na (fun i -> Printf.sprintf "a%d" i) in
+    let shared = List.filteri (fun i _ -> i < nshared) acols in
+    let extra = List.init nb_extra (fun i -> Printf.sprintf "b%d" i) in
+    let* shared_first = bool in
+    let bcols = if shared_first then shared @ extra else extra @ shared in
+    let* arows = gen_rows na and* brows = gen_rows (List.length bcols) in
+    return ((acols, arows), (bcols, brows)))
+
+let named (cols, rows) =
+  {
+    Engine.Executor.columns = cols;
+    rel = rel_of_rows ~cols:(List.length cols) rows;
+  }
+
+let prop_hash_join_matches_reference =
+  QCheck2.Test.make ~count:500 ~name:"hash_join = reference join"
+    gen_named_pair
+    (fun (a, b) ->
+      let ex = Engine.Executor.create (store ()) in
+      let j = Engine.Executor.hash_join ex (named a) (named b) in
+      (* bag semantics, row order unspecified: compare sorted multisets *)
+      sorted_rows (rows_of_rel j.Engine.Executor.rel)
+      = sorted_rows (ref_join a b))
+
+let prop_bnl_join_matches_reference =
+  QCheck2.Test.make ~count:500 ~name:"block_nested_loop_join = reference join"
+    gen_named_pair
+    (fun (a, b) ->
+      let ex = Engine.Executor.create (store ()) in
+      let j = Engine.Executor.block_nested_loop_join ex (named a) (named b) in
+      sorted_rows (rows_of_rel j.Engine.Executor.rel)
+      = sorted_rows (ref_join a b))
+
+let prop_dedup_matches_reference =
+  QCheck2.Test.make ~count:500 ~name:"RowTable dedup = reference dedup"
+    QCheck2.Gen.(
+      let* cols = int_bound 3 in
+      let* rows =
+        list_size (int_bound 20) (list_size (return cols) (int_bound 2))
+      in
+      return (cols, rows))
+    (fun (cols, rows) ->
+      (* dedup keeps first occurrences in input order: compare exactly *)
+      rows_of_rel (Engine.Relation.dedup (rel_of_rows ~cols rows))
+      = ref_dedup rows)
+
+let differential_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_hash_join_matches_reference;
+      prop_bnl_join_matches_reference;
+      prop_dedup_matches_reference;
+    ]
+
+(* All three engine profiles must agree on the answers they can compute:
+   the LUBM workload evaluated per profile with the GCov strategy, skipping
+   (profile, query) pairs the profile's capacities reject.  The
+   postgres-like profile must succeed everywhere at this scale. *)
+let test_profiles_agree_on_lubm () =
+  let store = Workloads.Lubm.generate { Workloads.Lubm.universities = 1 } in
+  let reformulator =
+    Reformulation.Reformulate.create Workloads.Lubm.schema
+  in
+  let systems =
+    List.map
+      (fun p -> (p.Engine.Profile.name, Rqa.Answering.make ~profile:p ~reformulator store))
+      Engine.Profile.all
+  in
+  List.iter
+    (fun (qname, q) ->
+      let answers =
+        List.filter_map
+          (fun (pname, sys) ->
+            match Rqa.Answering.answer_terms sys Rqa.Answering.Gcov q with
+            | rows -> Some (pname, rows)
+            | exception Engine.Profile.Engine_failure _ ->
+                Alcotest.(check bool)
+                  (qname ^ ": postgres-like must succeed")
+                  false
+                  (String.equal pname "postgres-like");
+                None)
+          systems
+      in
+      match answers with
+      | [] -> Alcotest.fail (qname ^ ": no profile succeeded")
+      | (p0, rows0) :: rest ->
+          List.iter
+            (fun (p, rows) ->
+              Alcotest.check rows_t
+                (Printf.sprintf "%s: %s = %s" qname p p0)
+                rows0 rows)
+            rest)
+    Workloads.Lubm.queries
+
 let () =
   Alcotest.run "engine"
     [
@@ -454,4 +607,10 @@ let () =
           Alcotest.test_case "union and jucq" `Quick test_sql_union_and_jucq;
         ] );
       ("properties", qcheck_cases);
+      ( "differential",
+        differential_cases
+        @ [
+            Alcotest.test_case "profiles agree on LUBM" `Quick
+              test_profiles_agree_on_lubm;
+          ] );
     ]
