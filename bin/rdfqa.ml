@@ -5,7 +5,8 @@
      query        answer a SPARQL BGP query under a chosen strategy
      reformulate  print the CQ->UCQ reformulation of a query
      explain      list the query's covers with their estimated costs
-     sql          print the SQL a JUCQ reformulation ships to an RDBMS *)
+     sql          print the SQL a JUCQ reformulation ships to an RDBMS
+     check        statically lint queries, covers and compiled plan shapes *)
 
 open Cmdliner
 
@@ -349,6 +350,124 @@ let sql_cmd =
       const run $ data_arg $ workload_query_arg $ query_string_arg
       $ query_file_arg $ engine_arg $ cover_arg)
 
+(* ---------- check ---------- *)
+
+let check_cmd =
+  let query_file_pos =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"QUERY_FILE" ~doc:"A SPARQL query file to lint.")
+  in
+  let workload =
+    Arg.(
+      value
+      & opt (some (enum [ ("lubm", `Lubm); ("dblp", `Dblp) ])) None
+      & info [ "w"; "workload" ] ~docv:"WORKLOAD"
+          ~doc:
+            "Lint every evaluation query of the given workload against its \
+             built-in schema.")
+  in
+  let data =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "d"; "data" ] ~docv:"FILE"
+          ~doc:
+            "Optional data file whose RDFS constraint triples provide the \
+             schema for the lint.")
+  in
+  let strict =
+    Arg.(
+      value & flag
+      & info [ "strict" ] ~doc:"Treat warning diagnostics as errors.")
+  in
+  let machine =
+    Arg.(
+      value & flag
+      & info [ "machine" ]
+          ~doc:
+            "Machine-readable output: one tab-separated diagnostic per line \
+             (severity, code, context, message).")
+  in
+  let codes =
+    Arg.(
+      value & flag
+      & info [ "codes" ] ~doc:"Print the diagnostic-code catalog and exit.")
+  in
+  let schema_of_data path =
+    let g =
+      if Filename.check_suffix path ".ttl" then Rdf.Turtle.load_file path
+      else Rdf.Ntriples.load_file path
+    in
+    Rdf.Graph.schema g
+  in
+  let run query_file workload wq qs data strict machine codes =
+    if codes then
+      List.iter
+        (fun (code, doc) -> Printf.printf "%s  %s\n" code doc)
+        Analysis.Diagnostic.catalog
+    else begin
+      let reports =
+        match workload with
+        | Some `Lubm ->
+            Analysis.Checker.check_workload ~schema:Workloads.Lubm.schema
+              (List.map (fun (n, q) -> ("lubm:" ^ n, q)) Workloads.Lubm.queries)
+        | Some `Dblp ->
+            Analysis.Checker.check_workload ~schema:Workloads.Dblp.schema
+              (List.map (fun (n, q) -> ("dblp:" ^ n, q)) Workloads.Dblp.queries)
+        | None -> (
+            match resolve_query wq qs query_file with
+            | Error msg -> prerr_endline msg; exit 2
+            | Ok (q, implied_schema) ->
+                let schema =
+                  match (implied_schema, data) with
+                  | Some s, _ -> Some s
+                  | None, Some path -> Some (schema_of_data path)
+                  | None, None -> None
+                in
+                let name =
+                  match (wq, query_file) with
+                  | Some w, _ -> w
+                  | None, Some f -> Filename.basename f
+                  | None, None -> "query"
+                in
+                [ (name, Analysis.Checker.check_query ?schema ~name q) ])
+      in
+      let all = List.concat_map snd reports in
+      List.iter
+        (fun (name, ds) ->
+          if machine then
+            List.iter
+              (fun d -> print_endline (Analysis.Diagnostic.render d))
+              ds
+          else begin
+            Printf.printf "%s: %s\n" name (Analysis.Diagnostic.summary ds);
+            List.iter
+              (fun d ->
+                Printf.printf "  %s\n" (Analysis.Diagnostic.to_string d))
+              ds
+          end)
+        reports;
+      if not machine then
+        Printf.printf "-- %d queries checked: %s\n" (List.length reports)
+          (Analysis.Diagnostic.summary all);
+      let failing (d : Analysis.Diagnostic.t) =
+        Analysis.Diagnostic.is_error d
+        || (strict && d.Analysis.Diagnostic.severity = Analysis.Diagnostic.Warning)
+      in
+      if List.exists failing all then exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Statically verify queries: semantic lint, Definition 3.3/3.4 cover \
+          checks and compiled-plan schema consistency — nothing is executed.")
+    Term.(
+      const run $ query_file_pos $ workload $ workload_query_arg
+      $ query_string_arg $ data $ strict $ machine $ codes)
+
 let () =
   let info =
     Cmd.info "rdfqa" ~version:"1.0"
@@ -358,4 +477,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ generate_cmd; query_cmd; reformulate_cmd; explain_cmd; sql_cmd ]))
+          [
+            generate_cmd; query_cmd; reformulate_cmd; explain_cmd; sql_cmd;
+            check_cmd;
+          ]))

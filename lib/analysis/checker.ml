@@ -1,0 +1,84 @@
+open Query
+
+let check_query ?schema ?reformulator ?(max_terms = 4096) ~name (q : Bgp.t) =
+  let q = Bgp.normalize q in
+  let lint = Query_lint.lint ?schema ~context:name q in
+  let covers = [ ("ucq", Jucq.ucq_cover q); ("scq", Jucq.scq_cover q) ] in
+  let cover_ds =
+    List.concat_map
+      (fun (label, cover) ->
+        Cover_check.check ~context:(name ^ ":" ^ label) q cover)
+      covers
+  in
+  let plan_ds =
+    let r =
+      match reformulator with
+      | Some r -> r
+      | None ->
+          Reformulation.Reformulate.create
+            (Option.value schema ~default:Rdf.Schema.empty)
+    in
+    let context = name ^ ":scq" in
+    let cover = Jucq.scq_cover q in
+    (* The plan check reformulates one cover query per fragment, so the
+       cap applies per fragment — the whole-query product bound being
+       astronomic (LUBM Q28, DBLP Q10) does not stop the SCQ-cover
+       check, whose fragments are single atoms. *)
+    let fragment_bound =
+      List.fold_left
+        (fun acc f ->
+          max acc
+            (Reformulation.Reformulate.count_product_bound r
+               (Jucq.cover_query q cover f)))
+        0 cover
+    in
+    match fragment_bound with
+    | bound when bound > max_terms ->
+        [
+          Diagnostic.info ~code:"RF001" ~context
+            (Printf.sprintf
+               "a cover-query reformulation bounded by %d terms exceeds the \
+                %d-term static check cap; plan verification skipped"
+               bound max_terms);
+        ]
+    | _ -> (
+        match
+          Jucq.make
+            ~reformulate:(Reformulation.Reformulate.reformulate r)
+            q cover
+        with
+        | j ->
+            let redundancy =
+              (* Reformulations are containment-redundant by design
+                 (Example 4): report redundancy as information, per
+                 fragment, capped to keep the NP-hard sweep cheap. *)
+              List.concat
+                (List.mapi
+                   (fun i (_, u) ->
+                     Query_lint.lint_ucq ?schema ~redundant:Diagnostic.Info
+                       ~context:(Printf.sprintf "%s/fragment %d" context i)
+                       u)
+                   j.Jucq.fragments)
+            in
+            Plan_verify.verify_jucq ~query:q ~cover ~context j @ redundancy
+        | exception Reformulation.Reformulate.Too_large { bound; limit } ->
+            [
+              Diagnostic.info ~code:"RF001" ~context
+                (Printf.sprintf
+                   "reformulation too large to build (~%d terms, cap %d); \
+                    plan verification skipped"
+                   bound limit);
+            ]
+        | exception Reformulation.Rules.Unsupported_atom msg ->
+            [
+              Diagnostic.warning ~code:"QL009" ~context
+                ("atom outside the supported reformulation fragment: " ^ msg);
+            ])
+  in
+  lint @ cover_ds @ plan_ds
+
+let check_workload ~schema queries =
+  let r = Reformulation.Reformulate.create schema in
+  List.map
+    (fun (name, q) -> (name, check_query ~schema ~reformulator:r ~name q))
+    queries

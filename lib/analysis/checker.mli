@@ -1,0 +1,29 @@
+(** The [rdfqa check] driver: runs every static check that applies to one
+    BGP query against a schema, without touching any data.
+
+    Pipeline: semantic lint of the query; Definition 3.3 checks of the
+    canonical covers (the flat UCQ cover and the all-singletons SCQ
+    cover); then — when the reformulation stays below [max_terms] — the
+    cover-based JUCQ of the SCQ cover is built and its compiled plan
+    shape is verified against Definitions 3.3/3.4 and the schema-
+    consistency rules of {!Plan_verify}.  Reformulations the cap refuses
+    are reported as ["RF001"] infos, never errors: refusing an oversized
+    union is the engine's documented behaviour, not a defect. *)
+
+val check_query :
+  ?schema:Rdf.Schema.t ->
+  ?reformulator:Reformulation.Reformulate.t ->
+  ?max_terms:int ->
+  name:string ->
+  Query.Bgp.t ->
+  Diagnostic.t list
+(** Every diagnostic for [q], in pipeline order.  [reformulator] defaults
+    to a fresh engine over [schema] (or the empty schema); [max_terms]
+    (default 4096) caps the reformulation size the plan check builds. *)
+
+val check_workload :
+  schema:Rdf.Schema.t ->
+  (string * Query.Bgp.t) list ->
+  (string * Diagnostic.t list) list
+(** [check_query] over a named query set (e.g. {!Workloads.Lubm.queries})
+    with one shared reformulator, preserving order. *)

@@ -1,0 +1,112 @@
+open Query
+
+let fragment_to_string (f : Jucq.fragment) =
+  "{" ^ String.concat "," (List.map (fun i -> "t" ^ string_of_int (i + 1)) f) ^ "}"
+
+let atoms_of (q : Bgp.t) (f : Jucq.fragment) = List.map (List.nth q.body) f
+let included a b = List.for_all (fun i -> List.mem i b) a
+
+let frag_vars q f = List.concat_map Bgp.atom_vars (atoms_of q f)
+
+let other_vars (q : Bgp.t) (c : Jucq.cover) i =
+  List.concat
+    (List.mapi (fun j g -> if j = i then [] else frag_vars q g) c)
+
+let shared_vars (q : Bgp.t) (c : Jucq.cover) i =
+  let others = other_vars q c i in
+  List.sort_uniq String.compare
+    (List.filter (fun v -> List.mem v others) (frag_vars q (List.nth c i)))
+
+let expected_head (q : Bgp.t) (c : Jucq.cover) i =
+  let f = List.nth c i in
+  let distinguished = Bgp.head_vars q in
+  let others = other_vars q c i in
+  List.filter
+    (fun v -> List.mem v distinguished || List.mem v others)
+    (List.sort_uniq String.compare (frag_vars q f))
+
+let check ~context (q : Bgp.t) (c : Jucq.cover) =
+  let n = List.length q.body in
+  if c = [] then [ Diagnostic.error ~code:"CV001" ~context "empty cover" ]
+  else
+    let structural =
+      List.concat
+        (List.mapi
+           (fun i f ->
+             let fctx = Printf.sprintf "%s/fragment %d" context i in
+             if f = [] then
+               [ Diagnostic.error ~code:"CV002" ~context:fctx "empty fragment" ]
+             else
+               List.filter_map
+                 (fun idx ->
+                   if idx < 0 || idx >= n then
+                     Some
+                       (Diagnostic.error ~code:"CV003" ~context:fctx
+                          (Printf.sprintf
+                             "atom index t%d out of range (body has %d atoms)"
+                             (idx + 1) n))
+                   else None)
+                 f)
+           c)
+    in
+    if structural <> [] then structural
+    else begin
+      let ds = ref [] in
+      let add d = ds := d :: !ds in
+      (* CV004: every body atom covered. *)
+      let covered = List.concat c in
+      List.iteri
+        (fun i _ ->
+          if not (List.mem i covered) then
+            add
+              (Diagnostic.error ~code:"CV004" ~context
+                 (Printf.sprintf "atom t%d is not covered by any fragment"
+                    (i + 1))))
+        q.body;
+      (* CV005: no fragment included in another (identical fragments
+         included both ways are reported once). *)
+      List.iteri
+        (fun i f ->
+          List.iteri
+            (fun j g ->
+              if i < j && (included f g || included g f) then
+                add
+                  (Diagnostic.error ~code:"CV005" ~context
+                     (Printf.sprintf "fragment %d %s and fragment %d %s: one \
+                                      is included in the other"
+                        i (fragment_to_string f) j (fragment_to_string g))))
+            c)
+        c;
+      (* CV006: each fragment internally connected (no product inside a
+         cover query — excluded from the search space after Theorem 3.1). *)
+      List.iteri
+        (fun i f ->
+          if not (Bgp.is_connected (atoms_of q f)) then
+            add
+              (Diagnostic.error ~code:"CV006"
+                 ~context:(Printf.sprintf "%s/fragment %d" context i)
+                 (Printf.sprintf "fragment %s has an internal cartesian product"
+                    (fragment_to_string f))))
+        c;
+      (* CV007: with several fragments, each must join with another. *)
+      if List.length c > 1 then
+        List.iteri
+          (fun i f ->
+            let joins =
+              List.exists
+                (fun j ->
+                  j <> i
+                  && Bgp.fragment_connected (atoms_of q f)
+                       (atoms_of q (List.nth c j)))
+                (List.init (List.length c) Fun.id)
+            in
+            if not joins then
+              add
+                (Diagnostic.error ~code:"CV007"
+                   ~context:(Printf.sprintf "%s/fragment %d" context i)
+                   (Printf.sprintf
+                      "fragment %s shares no variable with any other fragment"
+                      (fragment_to_string f))))
+          c;
+      List.rev !ds
+    end

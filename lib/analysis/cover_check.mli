@@ -1,0 +1,26 @@
+(** Structured verification of BGP query covers against Definition 3.3 —
+    and computation of the Definition 3.4 cover-query head the plan
+    verifier checks fragments against.
+
+    {!Query.Jucq.check_cover} stops at the first violation and returns a
+    bare string; this checker reports {e every} violation with a stable
+    code ("CV001"–"CV007", see {!Diagnostic.catalog}), which is what the
+    mutation self-tests and [rdfqa check] need. *)
+
+val check :
+  context:string -> Query.Bgp.t -> Query.Jucq.cover -> Diagnostic.t list
+(** All Definition 3.3 violations of the cover: emptiness (["CV001"],
+    ["CV002"]), index range (["CV003"]), coverage (["CV004"]), inclusion
+    (["CV005"]), internal fragment connectivity (["CV006"]) and the
+    cover's join graph (["CV007"]).  Structural errors (range, emptiness)
+    suppress the later checks they would crash. *)
+
+val expected_head : Query.Bgp.t -> Query.Jucq.cover -> int -> string list
+(** [expected_head q c i] is the Definition 3.4 head of the [i]-th cover
+    query: the distinguished variables of [q] occurring in fragment [i]
+    plus the variables it shares with the other fragments of [c], sorted.
+    Requires a structurally valid cover (see {!check}). *)
+
+val shared_vars : Query.Bgp.t -> Query.Jucq.cover -> int -> string list
+(** The variables fragment [i] shares with the rest of the cover — the
+    join keys the executor will join fragment results on.  Sorted. *)

@@ -1,0 +1,271 @@
+open Query
+
+type op =
+  | Scan_join of Bgp.atom list
+  | Project of op * Bgp.pattern_term list
+  | Union of op list
+  | Dedup of op
+  | Columns of op * string list
+  | Join of op * op
+
+(* Constant head entries become anonymous output columns.  The marker can
+   never collide with a variable name ('<' is not a variable character)
+   and is never treated as a join key. *)
+let const_col = "<const>"
+
+let cols_to_string cols =
+  match cols with [] -> "(none)" | _ -> String.concat ", " cols
+
+(* ---- plan construction (mirrors Executor's shapes) ---- *)
+
+let of_cq (q : Bgp.t) = Project (Scan_join q.body, q.head)
+let of_ucq u = Dedup (Union (List.map of_cq (Ucq.disjuncts u)))
+
+(* Static column schema of an op, without diagnostics — used by the
+   connectivity-greedy join-order simulation below, and exported as a
+   best-effort inspection surface. *)
+let rec schema_of = function
+  | Scan_join atoms ->
+      List.fold_left
+        (fun acc a ->
+          acc @ List.filter (fun v -> not (List.mem v acc)) (Bgp.atom_vars a))
+        [] atoms
+  | Project (_, head) ->
+      List.map (function Bgp.Var v -> v | Bgp.Const _ -> const_col) head
+  | Union [] -> []
+  | Union (first :: _) -> schema_of first
+  | Dedup input -> schema_of input
+  | Columns (_, names) -> names
+  | Join (l, r) ->
+      let ls = schema_of l and rs = schema_of r in
+      let shared = List.filter (fun v -> v <> const_col && List.mem v rs) ls in
+      ls @ List.filter (fun v -> not (List.mem v shared)) rs
+
+let of_jucq (j : Jucq.t) =
+  let frags =
+    List.map
+      (fun ((cq : Bgp.t), u) -> Columns (of_ucq u, Bgp.head_vars cq))
+      j.Jucq.fragments
+  in
+  let joined =
+    match frags with
+    | [] -> Union []
+    | first :: rest ->
+        (* The executor joins smallest-first but never takes a product
+           while a connected fragment remains; sizes are unknown
+           statically, so simulate only the connectivity preference —
+           product warnings then fire exactly when the executor would be
+           forced into a product too. *)
+        let connected acc f =
+          let ac = schema_of acc and fc = schema_of f in
+          List.exists (fun v -> v <> const_col && List.mem v fc) ac
+        in
+        let rec fold acc remaining =
+          match remaining with
+          | [] -> acc
+          | _ ->
+              let pick =
+                match List.find_opt (connected acc) remaining with
+                | Some f -> f
+                | None -> List.hd remaining
+              in
+              fold (Join (acc, pick)) (List.filter (fun f -> f != pick) remaining)
+        in
+        fold first rest
+  in
+  Dedup (Project (joined, j.Jucq.head))
+
+(* ---- schema-consistency walk ---- *)
+
+let verify ~context op =
+  let ds = ref [] in
+  let add d = ds := d :: !ds in
+  let rec infer ctx = function
+    | Scan_join atoms ->
+        if atoms = [] then
+          add
+            (Diagnostic.error ~code:"PV007" ~context:ctx
+               "scan-join pipeline over an empty body produces no columns");
+        schema_of (Scan_join atoms)
+    | Project (input, head) ->
+        let cols = infer ctx input in
+        List.map
+          (function
+            | Bgp.Const _ -> const_col
+            | Bgp.Var v ->
+                if not (List.mem v cols) then
+                  add
+                    (Diagnostic.error ~code:"PV005" ~context:ctx
+                       (Printf.sprintf
+                          "projected head variable ?%s is not produced by its \
+                           input (columns: %s)"
+                          v (cols_to_string cols)));
+                v)
+          head
+    | Union inputs -> (
+        match inputs with
+        | [] ->
+            add
+              (Diagnostic.error ~code:"PV001" ~context:ctx
+                 "union of zero members");
+            []
+        | first :: rest ->
+            let s0 = infer (ctx ^ "/union member 0") first in
+            List.iteri
+              (fun i input ->
+                let mctx = Printf.sprintf "%s/union member %d" ctx (i + 1) in
+                let s = infer mctx input in
+                if List.length s <> List.length s0 then
+                  add
+                    (Diagnostic.error ~code:"PV001" ~context:mctx
+                       (Printf.sprintf
+                          "union member has arity %d where member 0 has %d"
+                          (List.length s) (List.length s0))))
+              rest;
+            s0)
+    | Dedup input -> infer ctx input
+    | Columns (input, names) ->
+        let s = infer ctx input in
+        if List.length s <> List.length names then
+          add
+            (Diagnostic.error ~code:"PV007" ~context:ctx
+               (Printf.sprintf
+                  "declared columns [%s] (width %d) do not match the \
+                   operator's width %d"
+                  (cols_to_string names) (List.length names) (List.length s)));
+        names
+    | Join (l, r) ->
+        let ls = infer ctx l and rs = infer ctx r in
+        let dup_check side cols =
+          let rec go seen = function
+            | [] -> ()
+            | c :: rest ->
+                if c <> const_col && List.mem c seen then
+                  add
+                    (Diagnostic.error ~code:"PV006" ~context:ctx
+                       (Printf.sprintf
+                          "duplicate column %s in the %s join input schema" c
+                          side));
+                go (c :: seen) rest
+          in
+          go [] cols
+        in
+        dup_check "left" ls;
+        dup_check "right" rs;
+        let shared =
+          List.filter (fun v -> v <> const_col && List.mem v rs) ls
+        in
+        if shared = [] then
+          add
+            (Diagnostic.warning ~code:"PV002" ~context:ctx
+               (Printf.sprintf
+                  "fragment join has no shared column (cartesian product): \
+                   left [%s] vs right [%s]"
+                  (cols_to_string ls) (cols_to_string rs)));
+        ls @ List.filter (fun v -> not (List.mem v shared)) rs
+  in
+  ignore (infer context op);
+  List.rev !ds
+
+let verify_cq ~context q = verify ~context (of_cq q)
+let verify_ucq ~context u = verify ~context (of_ucq u)
+
+(* ---- Definition 3.3/3.4 checks against the originating cover ---- *)
+
+let structural_cover_error ds =
+  List.exists
+    (fun (d : Diagnostic.t) ->
+      List.mem d.Diagnostic.code [ "CV001"; "CV002"; "CV003" ])
+    ds
+
+let fragment_head_checks ~context (q : Bgp.t) cover (j : Jucq.t) =
+  if List.length j.Jucq.fragments <> List.length cover then
+    [
+      Diagnostic.error ~code:"PV008" ~context
+        (Printf.sprintf "plan has %d fragments where the cover has %d"
+           (List.length j.Jucq.fragments) (List.length cover));
+    ]
+  else
+    List.concat
+      (List.mapi
+         (fun i ((cq : Bgp.t), _) ->
+           let fctx = Printf.sprintf "%s/fragment %d" context i in
+           let expected = Cover_check.expected_head q cover i in
+           let shared = Cover_check.shared_vars q cover i in
+           let actual = Bgp.head_vars cq in
+           let missing = List.filter (fun v -> not (List.mem v actual)) expected in
+           let extra = List.filter (fun v -> not (List.mem v expected)) actual in
+           let body_mismatch =
+             let atoms f = List.map (List.nth q.Bgp.body) f in
+             not
+               (List.equal Bgp.atom_equal
+                  (List.sort Bgp.atom_compare cq.Bgp.body)
+                  (List.sort Bgp.atom_compare (atoms (List.nth cover i))))
+           in
+           List.concat
+             [
+               List.map
+                 (fun v ->
+                   if List.mem v shared then
+                     Diagnostic.error ~code:"PV003" ~context:fctx
+                       (Printf.sprintf
+                          "shared variable ?%s is missing from the cover-query \
+                           head: the fragment join key is lost"
+                          v)
+                   else
+                     Diagnostic.error ~code:"PV004" ~context:fctx
+                       (Printf.sprintf
+                          "distinguished variable ?%s is missing from the \
+                           cover-query head (Definition 3.4)"
+                          v))
+                 missing;
+               List.map
+                 (fun v ->
+                   Diagnostic.error ~code:"PV004" ~context:fctx
+                     (Printf.sprintf
+                        "cover-query head carries ?%s beyond the Definition \
+                         3.4 head [%s]"
+                        v (cols_to_string expected)))
+                 extra;
+               (if body_mismatch then
+                  [
+                    Diagnostic.error ~code:"PV008" ~context:fctx
+                      "fragment body does not match the cover's atoms";
+                  ]
+                else []);
+             ])
+         j.Jucq.fragments)
+
+let verify_jucq ?query ?cover ~context (j : Jucq.t) =
+  let plan_ds = verify ~context (of_jucq j) in
+  match (query, cover) with
+  | Some q, Some c ->
+      let cover_ds = Cover_check.check ~context q c in
+      let head_ds =
+        if structural_cover_error cover_ds then []
+        else fragment_head_checks ~context q c j
+      in
+      cover_ds @ head_ds @ plan_ds
+  | _ -> plan_ds
+
+(* ---- enablement gate ---- *)
+
+exception Rejected of Diagnostic.t list
+
+let forced = ref None
+let set_enabled b = forced := Some b
+
+let env_enabled =
+  lazy
+    (match Sys.getenv_opt "RDFQA_VERIFY" with
+    | Some ("1" | "true" | "yes" | "on") -> true
+    | _ -> false)
+
+let enabled () =
+  match !forced with Some b -> b | None -> Lazy.force env_enabled
+
+let check_exn f =
+  if enabled () then begin
+    let ds = f () in
+    if Diagnostic.has_errors ds then raise (Rejected ds)
+  end

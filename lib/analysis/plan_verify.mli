@@ -1,0 +1,83 @@
+(** Static verification of compiled physical plans — layer (2) of the
+    analysis subsystem.
+
+    The executor evaluates a JUCQ as: per fragment, a union of
+    index-nested-loop CQ pipelines deduplicated into a materialized
+    relation whose columns are the cover query's head variables; then
+    fragment hash/BNL joins on shared columns; finally projection on the
+    original head and duplicate elimination.  {!of_jucq} rebuilds that
+    operator tree {e symbolically} and {!verify} walks it bottom-up,
+    inferring each operator's column schema and checking consistency —
+    union arity (["PV001"]), join keys (["PV002"], ["PV006"]), projection
+    sources (["PV005"]), declared widths (["PV007"]).  With the original
+    query and cover, {!verify_jucq} additionally checks Definition 3.3
+    (via {!Cover_check}) and that every fragment head is exactly the
+    Definition 3.4 head (["PV003"], ["PV004"], ["PV008"]).
+
+    Nothing is executed and no store is consulted: the checks hold for
+    every database, which is what makes them a safety net for executor
+    refactors.  After the zero-allocation executor rewrite, a silent
+    schema violation here would mean {e wrong answers}, not a crash. *)
+
+type op =
+  | Scan_join of Query.Bgp.atom list
+      (** one CQ body as the executor's index-nested-loop self-join
+          pipeline; produces the body variables in first-occurrence order *)
+  | Project of op * Query.Bgp.pattern_term list
+      (** head projection; constants are emitted as anonymous columns *)
+  | Union of op list  (** UCQ union: all members must agree on width *)
+  | Dedup of op       (** hash-based duplicate elimination; schema-neutral *)
+  | Columns of op * string list
+      (** names the positional output of a fragment — must match its width *)
+  | Join of op * op
+      (** fragment hash/BNL join on the inputs' shared column names *)
+
+val of_cq : Query.Bgp.t -> op
+(** The plan {!Engine.Executor.eval_cq} compiles: scan-join then project. *)
+
+val of_ucq : Query.Ucq.t -> op
+(** The plan of a UCQ fragment: union of CQ plans, deduplicated. *)
+
+val of_jucq : Query.Jucq.t -> op
+(** The full JUCQ plan: named fragment relations, joined in the executor's
+    connectivity-greedy order, projected on the JUCQ head, deduplicated. *)
+
+val schema_of : op -> string list
+(** The inferred output column names (constants appear as ["<const>"]).
+    Best-effort on inconsistent plans — pair with {!verify}. *)
+
+val verify : context:string -> op -> Diagnostic.t list
+(** Bottom-up schema-consistency walk of the operator tree. *)
+
+val verify_cq : context:string -> Query.Bgp.t -> Diagnostic.t list
+(** [verify ~context (of_cq q)]. *)
+
+val verify_ucq : context:string -> Query.Ucq.t -> Diagnostic.t list
+(** [verify ~context (of_ucq u)]. *)
+
+val verify_jucq :
+  ?query:Query.Bgp.t ->
+  ?cover:Query.Jucq.cover ->
+  context:string ->
+  Query.Jucq.t ->
+  Diagnostic.t list
+(** Verifies the compiled JUCQ plan; when [query] and [cover] are given,
+    also checks the cover (Definition 3.3) and each fragment head against
+    Definition 3.4: a missing shared variable is a lost join key
+    (["PV003"]), any other head deviation is ["PV004"], and a fragment
+    count mismatch is ["PV008"]. *)
+
+exception Rejected of Diagnostic.t list
+(** Raised by {!check_exn} when a plan has error-severity diagnostics. *)
+
+val check_exn : (unit -> Diagnostic.t list) -> unit
+(** Runs the thunk when verification is {!enabled}; raises {!Rejected} if
+    any resulting diagnostic is an error. *)
+
+val enabled : unit -> bool
+(** Whether plan verification is on: forced by {!set_enabled}, otherwise
+    the [RDFQA_VERIFY] environment variable ([1]/[true] enable). *)
+
+val set_enabled : bool -> unit
+(** Overrides the environment gate — test/debug builds switch verification
+    on unconditionally. *)

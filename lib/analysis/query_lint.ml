@@ -1,0 +1,157 @@
+open Query
+
+let atom_to_string (a : Bgp.atom) =
+  let term = function
+    | Bgp.Var v -> "?" ^ v
+    | Bgp.Const c -> Rdf.Term.to_string c
+  in
+  Printf.sprintf "%s %s %s" (term a.s) (term a.p) (term a.o)
+
+(* Schema-level satisfiability of one atom.  A constant property unknown to
+   both the RDFS schema and the built-in vocabulary gets no reformulation
+   and can only match explicit triples; same for an [rdf:type] atom whose
+   class is undeclared.  Both are legal, both are the classic typo. *)
+let schema_checks schema ~context (a : Bgp.atom) =
+  let ds = ref [] in
+  let add d = ds := d :: !ds in
+  (match a.p with
+  | Bgp.Const p
+    when Rdf.Term.is_uri p
+         && (not (Rdf.Vocab.is_builtin p))
+         && not (Rdf.Term.Set.mem p (Rdf.Schema.properties schema)) ->
+      add
+        (Diagnostic.warning ~code:"QL004" ~context
+           (Printf.sprintf
+              "property %s is neither built-in nor declared by the schema \
+               (atom '%s' matches explicit triples only)"
+              (Rdf.Term.to_string p) (atom_to_string a)))
+  | _ -> ());
+  (match (a.p, a.o) with
+  | Bgp.Const p, Bgp.Const c
+    when Rdf.Term.equal p Rdf.Vocab.rdf_type
+         && Rdf.Term.is_uri c
+         && not (Rdf.Term.Set.mem c (Rdf.Schema.classes schema)) ->
+      add
+        (Diagnostic.warning ~code:"QL005" ~context
+           (Printf.sprintf
+              "class %s is not declared by the schema (atom '%s' matches \
+               explicit triples only)"
+              (Rdf.Term.to_string c) (atom_to_string a)))
+  | _ -> ());
+  List.rev !ds
+
+let lint ?schema ~context (q : Bgp.t) =
+  let ds = ref [] in
+  let add d = ds := d :: !ds in
+  let body_vars = Bgp.vars q in
+  (* QL001: a head variable the body never binds. *)
+  List.iter
+    (function
+      | Bgp.Var v when not (List.mem v body_vars) ->
+          add
+            (Diagnostic.error ~code:"QL001" ~context
+               (Printf.sprintf "head variable ?%s does not occur in the body" v))
+      | _ -> ())
+    q.head;
+  (* QL002: disconnected join graph. *)
+  if List.length q.body > 1 && not (Bgp.is_connected q.body) then
+    add
+      (Diagnostic.warning ~code:"QL002" ~context
+         "body is a cartesian product: its join graph is disconnected");
+  (* QL003: duplicate atoms. *)
+  let sorted = List.sort Bgp.atom_compare q.body in
+  let rec dups = function
+    | a :: (b :: _ as rest) ->
+        if Bgp.atom_equal a b then
+          add
+            (Diagnostic.warning ~code:"QL003" ~context
+               (Printf.sprintf "duplicate body atom '%s'" (atom_to_string a)));
+        dups rest
+    | _ -> ()
+  in
+  dups sorted;
+  (* QL006: literals where RDF data cannot have them. *)
+  List.iter
+    (fun (a : Bgp.atom) ->
+      let literal = function
+        | Bgp.Const c -> Rdf.Term.is_literal c
+        | Bgp.Var _ -> false
+      in
+      if literal a.s || literal a.p then
+        add
+          (Diagnostic.warning ~code:"QL006" ~context
+             (Printf.sprintf
+                "atom '%s' has a literal in subject or property position and \
+                 never matches an RDF graph"
+                (atom_to_string a))))
+    q.body;
+  (* QL007: repeated head variables. *)
+  let rec rep_heads seen = function
+    | [] -> ()
+    | Bgp.Var v :: rest ->
+        if List.mem v seen then
+          add
+            (Diagnostic.info ~code:"QL007" ~context
+               (Printf.sprintf "head variable ?%s is repeated" v));
+        rep_heads (v :: seen) rest
+    | Bgp.Const _ :: rest -> rep_heads seen rest
+  in
+  rep_heads [] q.head;
+  (match schema with
+  | Some s when Rdf.Schema.size s > 0 ->
+      List.iter (fun a -> List.iter add (schema_checks s ~context a)) q.body
+  | _ -> ());
+  List.rev !ds
+
+let lint_ucq ?schema ?(redundant = Diagnostic.Warning) ?(containment_cap = 48)
+    ~context (u : Ucq.t) =
+  let disjuncts = Ucq.disjuncts u in
+  let per_disjunct =
+    List.concat
+      (List.mapi
+         (fun i cq ->
+           lint ?schema ~context:(Printf.sprintf "%s(%d)" context i) cq)
+         disjuncts)
+  in
+  let n = List.length disjuncts in
+  let redundancy =
+    if n < 2 || n > containment_cap then []
+    else
+      let arr = Array.of_list disjuncts in
+      let redundant_at i =
+        (* [arr.(i)] is redundant if some other disjunct subsumes it; among
+           mutually-equivalent disjuncts only the later ones are flagged, so
+           one representative survives — the {!Containment.minimize}
+           convention. *)
+        let subsumed_by j =
+          j <> i
+          && Containment.contained arr.(i) arr.(j)
+          && ((not (Containment.contained arr.(j) arr.(i))) || j < i)
+        in
+        let rec find j =
+          if j >= n then None
+          else if subsumed_by j then Some j
+          else find (j + 1)
+        in
+        find 0
+      in
+      List.concat
+        (List.init n (fun i ->
+             match redundant_at i with
+             | Some j ->
+                 [
+                   Diagnostic.
+                     {
+                       severity = redundant;
+                       code = "QL008";
+                       context = Printf.sprintf "%s(%d)" context i;
+                       message =
+                         Printf.sprintf
+                           "disjunct is contained in disjunct %d: evaluating \
+                            it is redundant work"
+                           j;
+                     };
+                 ]
+             | None -> []))
+  in
+  per_disjunct @ redundancy

@@ -1,0 +1,32 @@
+(** Semantic lint of parsed BGP queries and UCQs — layer (1) of the static
+    analysis subsystem.
+
+    All checks are purely syntactic/schema-level: nothing is executed and
+    no data is consulted.  Against a loaded RDFS schema the lint also
+    flags atoms that can only match explicit triples because their
+    property or class is unknown to the schema (["QL004"]/["QL005"]) —
+    with reformulation-based answering those atoms receive no
+    reformulations, which is legal but frequently a typo.  Codes are
+    documented in {!Diagnostic.catalog}. *)
+
+val lint :
+  ?schema:Rdf.Schema.t -> context:string -> Query.Bgp.t -> Diagnostic.t list
+(** Lints one conjunctive query: unbound head variables (["QL001"]),
+    cartesian-product bodies (["QL002"]), duplicate atoms (["QL003"]),
+    schema-unknown properties and classes (["QL004"], ["QL005"]), literals
+    in subject/property position (["QL006"]) and repeated head variables
+    (["QL007"]).  Schema checks are skipped when [schema] is absent or
+    empty. *)
+
+val lint_ucq :
+  ?schema:Rdf.Schema.t ->
+  ?redundant:Diagnostic.severity ->
+  ?containment_cap:int ->
+  context:string ->
+  Query.Ucq.t ->
+  Diagnostic.t list
+(** Lints every disjunct, then reports containment-redundant disjuncts
+    (["QL008"]) at severity [redundant] (default [Warning]; reformulations
+    are redundant {e by design} — Example 4 — and are linted at [Info]).
+    The quadratic containment sweep runs only when the union has at most
+    [containment_cap] disjuncts (default 48). *)

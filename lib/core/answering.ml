@@ -117,6 +117,13 @@ let run_cover s strategy q cover ~covers_explored ~planning_start =
     try Jucq.make ~reformulate:obj_free_reformulate q cover
     with Reformulation.Reformulate.Too_large { bound; _ } -> refuse bound
   in
+  (* With verification on, check the full plan against the originating
+     query and cover (Definitions 3.3/3.4 + schema consistency) before
+     shipping it to the engine. *)
+  Analysis.Plan_verify.check_exn (fun () ->
+      Analysis.Plan_verify.verify_jucq ~query:q ~cover
+        ~context:("answering/" ^ strategy_name strategy)
+        jucq);
   let estimated_cost =
     match s.oracle with
     | Paper_model -> Cost_model.jucq_cost s.cost jucq

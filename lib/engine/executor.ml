@@ -329,6 +329,8 @@ let eval_cq_into t (q : Bgp.t) (out : Relation.t) =
 
 let eval_cq t (q : Bgp.t) =
   t.ops <- 0;
+  Analysis.Plan_verify.check_exn (fun () ->
+      Analysis.Plan_verify.verify_cq ~context:"executor/cq" q);
   let out = Relation.create ~cols:(List.length q.Bgp.head) in
   eval_cq_into t q out;
   let result = Relation.dedup out in
@@ -357,6 +359,8 @@ let eval_ucq_fragment t (u : Ucq.t) =
 
 let eval_ucq t u =
   t.ops <- 0;
+  Analysis.Plan_verify.check_exn (fun () ->
+      Analysis.Plan_verify.verify_ucq ~context:"executor/ucq" u);
   eval_ucq_fragment t u
 
 (* ---- joins ---- *)
@@ -498,6 +502,11 @@ let join t a b =
 
 let eval_jucq t (j : Jucq.t) =
   t.ops <- 0;
+  (* Static plan verification (test/debug builds and RDFQA_VERIFY=1): a
+     schema or arity violation in a compiled plan must reject the
+     statement, not silently produce wrong answers. *)
+  Analysis.Plan_verify.check_exn (fun () ->
+      Analysis.Plan_verify.verify_jucq ~context:"executor/jucq" j);
   (* Pre-check the engine's union capacity over all fragments: an RDBMS
      parses the whole statement before executing any of it. *)
   List.iter

@@ -1,0 +1,304 @@
+(* Mutation self-tests of the static analysis layer, plus the workload
+   lint gate.
+
+   Each mutation seeds one deliberate invariant violation — a dropped
+   join key, a permuted projection, an uncovered atom, … — and asserts
+   the verifier rejects it with the {e expected} diagnostic code: the
+   analysis has teeth, not just coverage.  The last group asserts every
+   LUBM and DBLP evaluation query comes out of [Checker.check_query] with
+   zero error diagnostics, which is the CI gate behind [rdfqa check]. *)
+
+open Query
+
+let u s = Rdf.Term.uri s
+let v x = Bgp.Var x
+let c t = Bgp.Const t
+let typ = Rdf.Vocab.rdf_type
+
+let schema =
+  Rdf.Schema.of_constraints
+    [
+      Rdf.Schema.Subclass (u "Professor", u "Teacher");
+      Rdf.Schema.Domain (u "worksFor", u "Teacher");
+      Rdf.Schema.Range (u "worksFor", u "Dept");
+      Rdf.Schema.Domain (u "advises", u "Teacher");
+    ]
+
+(* q(x,z) :- x worksFor y (t1), y type Dept (t2), x advises z (t3) *)
+let t1 = Bgp.atom (v "x") (c (u "worksFor")) (v "y")
+let t2 = Bgp.atom (v "y") (c typ) (c (u "Dept"))
+let t3 = Bgp.atom (v "x") (c (u "advises")) (v "z")
+let q = Bgp.make [ v "x"; v "z" ] [ t1; t2; t3 ]
+let cover = [ [ 0; 1 ]; [ 2 ] ]
+
+(* Identity reformulation: the plan checks under test are about schemas
+   and covers, not about reformulation rules. *)
+let identity cq = Ucq.of_cqs [ cq ]
+let jucq () = Jucq.make ~reformulate:identity q cover
+
+let codes ds = List.map (fun d -> d.Analysis.Diagnostic.code) ds
+
+let has_code code ds = List.mem code (codes ds)
+
+let check_has name code ds =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s reports %s (got: %s)" name code
+       (String.concat "," (codes ds)))
+    true (has_code code ds)
+
+let check_has_error name code ds =
+  check_has name code ds;
+  Alcotest.(check bool) (name ^ " is error-severity") true
+    (List.exists
+       (fun d ->
+         d.Analysis.Diagnostic.code = code && Analysis.Diagnostic.is_error d)
+       ds)
+
+let verify ?query ?cover j =
+  Analysis.Plan_verify.verify_jucq ?query ?cover ~context:"mut" j
+
+(* ---- the unmutated artefacts are clean ---- *)
+
+let test_valid_clean () =
+  let ds = verify ~query:q ~cover (jucq ()) in
+  Alcotest.(check bool)
+    (Printf.sprintf "no errors on the valid JUCQ (got: %s)"
+       (String.concat "," (codes ds)))
+    false
+    (Analysis.Diagnostic.has_errors ds);
+  let lint = Analysis.Query_lint.lint ~schema ~context:"q" q in
+  Alcotest.(check bool) "no lint findings on q" true (lint = [])
+
+(* ---- mutations ---- *)
+
+(* M1: the first cover query's head loses the shared variable x — the
+   fragment join key is silently gone. *)
+let test_m1_dropped_join_key () =
+  let f0 = { Bgp.head = [ v "y" ]; body = [ t1; t2 ] } in
+  let f1 = Jucq.cover_query q cover [ 2 ] in
+  let j =
+    { Jucq.head = q.Bgp.head; fragments = [ (f0, identity f0); (f1, identity f1) ] }
+  in
+  check_has_error "dropped join key" "PV003" (verify ~query:q ~cover j)
+
+(* M2: the projection asks for a variable no fragment produces. *)
+let test_m2_corrupt_projection () =
+  let j = jucq () in
+  let j = { j with Jucq.head = [ v "x"; v "w" ] } in
+  check_has_error "corrupt projection" "PV005" (verify ~query:q ~cover j)
+
+(* M3: a fragment with an internal cartesian product ({t2,t3} share no
+   variable). *)
+let test_m3_cartesian_fragment () =
+  let ds = Analysis.Cover_check.check ~context:"mut" q [ [ 1; 2 ]; [ 0 ] ] in
+  check_has_error "cartesian fragment" "CV006" ds
+
+(* M4: a distinguished variable missing from its only fragment's head —
+   the Definition 3.4 head is violated. *)
+let test_m4_head_var_not_in_fragment () =
+  let f0 = Jucq.cover_query q cover [ 0; 1 ] in
+  let f1 = { Bgp.head = [ v "x" ]; body = [ t3 ] } in
+  let j =
+    { Jucq.head = q.Bgp.head; fragments = [ (f0, identity f0); (f1, identity f1) ] }
+  in
+  let ds = verify ~query:q ~cover j in
+  check_has_error "missing distinguished head var" "PV004" ds;
+  (* the final projection of ?z also has nothing to read from *)
+  check_has_error "missing projection source" "PV005" ds
+
+(* M5: the cover misses atom t2. *)
+let test_m5_uncovered_atom () =
+  check_has_error "uncovered atom" "CV004"
+    (Analysis.Cover_check.check ~context:"mut" q [ [ 0 ]; [ 2 ] ])
+
+(* M6: one fragment included in another. *)
+let test_m6_included_fragment () =
+  check_has_error "included fragment" "CV005"
+    (Analysis.Cover_check.check ~context:"mut" q [ [ 0; 1 ]; [ 1 ]; [ 2 ] ])
+
+(* M7: an empty fragment. *)
+let test_m7_empty_fragment () =
+  check_has_error "empty fragment" "CV002"
+    (Analysis.Cover_check.check ~context:"mut" q [ [ 0; 1; 2 ]; [] ])
+
+(* M8: an atom index out of range. *)
+let test_m8_index_out_of_range () =
+  check_has_error "index out of range" "CV003"
+    (Analysis.Cover_check.check ~context:"mut" q [ [ 0; 1 ]; [ 2; 5 ] ])
+
+(* M9: permuted projection — a disjunct projects a different arity than
+   the fragment's declared columns. *)
+let test_m9_union_arity_mismatch () =
+  let f0 = Jucq.cover_query q cover [ 0; 1 ] in
+  let wide = { Bgp.head = [ v "x"; v "y" ]; body = [ t1; t2 ] } in
+  let f1 = Jucq.cover_query q cover [ 2 ] in
+  let j =
+    {
+      Jucq.head = q.Bgp.head;
+      fragments = [ (f0, identity wide); (f1, identity f1) ];
+    }
+  in
+  check_has_error "fragment width mismatch" "PV007" (verify ~query:q ~cover j)
+
+(* M10: a cover whose fragments share no variable (disconnected join
+   graph over a product query). *)
+let test_m10_disconnected_cover () =
+  let qa = Bgp.atom (v "x") (c (u "worksFor")) (v "y") in
+  let qb = Bgp.atom (v "z") (c (u "advises")) (v "w") in
+  let q2 = Bgp.make [ v "x"; v "z" ] [ qa; qb ] in
+  check_has_error "disconnected cover" "CV007"
+    (Analysis.Cover_check.check ~context:"mut" q2 [ [ 0 ]; [ 1 ] ])
+
+(* M11: an empty cover. *)
+let test_m11_empty_cover () =
+  check_has_error "empty cover" "CV001"
+    (Analysis.Cover_check.check ~context:"mut" q [])
+
+(* M12: a repeated head variable in a cover query de-synchronizes the
+   fragment's named columns from its relation width. *)
+let test_m12_repeated_fragment_head () =
+  let f0 = { Bgp.head = [ v "x"; v "x" ]; body = [ t1; t2 ] } in
+  let f1 = Jucq.cover_query q cover [ 2 ] in
+  let j =
+    { Jucq.head = q.Bgp.head; fragments = [ (f0, identity f0); (f1, identity f1) ] }
+  in
+  check_has_error "repeated fragment head variable" "PV007"
+    (verify ~query:q ~cover j)
+
+(* ---- query lint mutations ---- *)
+
+let test_lint_duplicate_atom () =
+  let dup = { Bgp.head = [ v "x" ]; body = [ t1; t1 ] } in
+  check_has "duplicate atom" "QL003"
+    (Analysis.Query_lint.lint ~schema ~context:"mut" dup)
+
+let test_lint_unknown_property () =
+  let bad = Bgp.make [ v "x" ] [ Bgp.atom (v "x") (c (u "wrksFor")) (v "y") ] in
+  check_has "unknown property" "QL004"
+    (Analysis.Query_lint.lint ~schema ~context:"mut" bad)
+
+let test_lint_unknown_class () =
+  let bad = Bgp.make [ v "x" ] [ Bgp.atom (v "x") (c typ) (c (u "Dpt")) ] in
+  check_has "unknown class" "QL005"
+    (Analysis.Query_lint.lint ~schema ~context:"mut" bad)
+
+let test_lint_unbound_head () =
+  let bad = { Bgp.head = [ v "nope" ]; body = [ t1 ] } in
+  check_has_error "unbound head variable" "QL001"
+    (Analysis.Query_lint.lint ~schema ~context:"mut" bad)
+
+let test_lint_cartesian_body () =
+  let prod =
+    Bgp.make [ v "x" ]
+      [ t1; Bgp.atom (v "a") (c (u "advises")) (v "b") ]
+  in
+  check_has "cartesian body" "QL002"
+    (Analysis.Query_lint.lint ~schema ~context:"mut" prod)
+
+let test_lint_redundant_disjunct () =
+  (* x advises y  is contained in  x advises y' with y' unbound?  No:
+     use the classic specialization — q1(x) :- x advises y, x type
+     Teacher  is contained in  q2(x) :- x advises y. *)
+  let general = Bgp.make [ v "x" ] [ t3 ] in
+  let special =
+    Bgp.make [ v "x" ] [ t3; Bgp.atom (v "x") (c typ) (c (u "Teacher")) ]
+  in
+  let ucq = Ucq.of_cqs [ general; special ] in
+  check_has "redundant disjunct" "QL008"
+    (Analysis.Query_lint.lint_ucq ~schema ~context:"mut" ucq)
+
+(* ---- the executor actually rejects a mutated plan when verification
+   is on ---- *)
+
+let test_executor_rejects () =
+  let g = Workloads.Lubm.generate_graph { Workloads.Lubm.universities = 1 } in
+  let store = Store.Encoded_store.of_graph g in
+  let ex = Engine.Executor.create store in
+  (* The executor hook sees only the compiled plan (no originating cover),
+     so seed a plan-level violation: the projection reads a variable no
+     fragment produces. *)
+  let j = jucq () in
+  let j = { j with Jucq.head = [ v "x"; v "w" ] } in
+  Analysis.Plan_verify.set_enabled true;
+  Alcotest.(check bool) "rejected" true
+    (try
+       ignore (Engine.Executor.eval_jucq ex j);
+       false
+     with Analysis.Plan_verify.Rejected ds ->
+       Analysis.Diagnostic.has_errors ds)
+
+(* ---- every emitted code is documented ---- *)
+
+let test_catalog_complete () =
+  let all_mutation_diags =
+    List.concat
+      [
+        verify ~query:q ~cover (jucq ());
+        Analysis.Cover_check.check ~context:"c" q [ [ 1; 2 ]; [] ];
+        Analysis.Query_lint.lint ~schema ~context:"c"
+          { Bgp.head = [ v "nope" ]; body = [ t1; t1 ] };
+      ]
+  in
+  List.iter
+    (fun code ->
+      Alcotest.(check bool)
+        (Printf.sprintf "code %s is in the catalog" code)
+        true
+        (Analysis.Diagnostic.describe code <> None))
+    (codes all_mutation_diags)
+
+(* ---- workload gate: every evaluation query lints clean ---- *)
+
+let workload_clean name schema queries () =
+  List.iter
+    (fun (qname, query) ->
+      let ds =
+        Analysis.Checker.check_query ~schema ~name:(name ^ ":" ^ qname) query
+      in
+      Alcotest.(check (list string))
+        (Printf.sprintf "%s:%s has no error diagnostics" name qname)
+        []
+        (codes (Analysis.Diagnostic.errors ds)))
+    queries
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "mutations",
+        [
+          Alcotest.test_case "valid artefacts are clean" `Quick test_valid_clean;
+          Alcotest.test_case "M1 dropped join key" `Quick test_m1_dropped_join_key;
+          Alcotest.test_case "M2 corrupt projection" `Quick test_m2_corrupt_projection;
+          Alcotest.test_case "M3 cartesian fragment" `Quick test_m3_cartesian_fragment;
+          Alcotest.test_case "M4 head var not in fragment" `Quick test_m4_head_var_not_in_fragment;
+          Alcotest.test_case "M5 uncovered atom" `Quick test_m5_uncovered_atom;
+          Alcotest.test_case "M6 included fragment" `Quick test_m6_included_fragment;
+          Alcotest.test_case "M7 empty fragment" `Quick test_m7_empty_fragment;
+          Alcotest.test_case "M8 index out of range" `Quick test_m8_index_out_of_range;
+          Alcotest.test_case "M9 union arity mismatch" `Quick test_m9_union_arity_mismatch;
+          Alcotest.test_case "M10 disconnected cover" `Quick test_m10_disconnected_cover;
+          Alcotest.test_case "M11 empty cover" `Quick test_m11_empty_cover;
+          Alcotest.test_case "M12 repeated fragment head" `Quick test_m12_repeated_fragment_head;
+        ] );
+      ( "query lint",
+        [
+          Alcotest.test_case "duplicate atom" `Quick test_lint_duplicate_atom;
+          Alcotest.test_case "unknown property" `Quick test_lint_unknown_property;
+          Alcotest.test_case "unknown class" `Quick test_lint_unknown_class;
+          Alcotest.test_case "unbound head" `Quick test_lint_unbound_head;
+          Alcotest.test_case "cartesian body" `Quick test_lint_cartesian_body;
+          Alcotest.test_case "redundant disjunct" `Quick test_lint_redundant_disjunct;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "executor rejects mutant" `Quick test_executor_rejects;
+          Alcotest.test_case "catalog complete" `Quick test_catalog_complete;
+        ] );
+      ( "workloads",
+        [
+          Alcotest.test_case "lubm lints clean" `Quick
+            (workload_clean "lubm" Workloads.Lubm.schema Workloads.Lubm.queries);
+          Alcotest.test_case "dblp lints clean" `Quick
+            (workload_clean "dblp" Workloads.Dblp.schema Workloads.Dblp.queries);
+        ] );
+    ]

@@ -16,7 +16,12 @@ let contains hay needle =
 
 let run_capture args =
   let out = Filename.temp_file "rqa_cli" ".out" in
-  let cmd = Printf.sprintf "%s %s > %s 2>&1" exe args (Filename.quote out) in
+  (* RDFQA_VERIFY=1: the spawned binary statically verifies every plan it
+     compiles, so the CLI tests double as end-to-end verifier runs. *)
+  let cmd =
+    Printf.sprintf "RDFQA_VERIFY=1 %s %s > %s 2>&1" exe args
+      (Filename.quote out)
+  in
   let code = Sys.command cmd in
   let ic = open_in out in
   let len = in_channel_length ic in

@@ -4,6 +4,10 @@
 
 open Query
 
+(* Every plan compiled while this suite runs goes through the static
+   plan verifier: a schema or cover violation fails the tests. *)
+let () = Analysis.Plan_verify.set_enabled true
+
 let u s = Rdf.Term.uri s
 let tr s p o = Rdf.Triple.make s p o
 let typ = Rdf.Vocab.rdf_type
@@ -490,7 +494,7 @@ let prop_cost_model_sane =
         [ Jucq.ucq_cover q; Jucq.scq_cover q ])
 
 let qcheck_cases =
-  List.map QCheck_alcotest.to_alcotest
+  List.map (fun t -> QCheck_alcotest.to_alcotest t)
     [
       prop_all_strategies_agree;
       prop_gcov_never_worse_than_scq;

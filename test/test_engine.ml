@@ -4,6 +4,10 @@
 
 open Query
 
+(* Every plan compiled while this suite runs goes through the static
+   plan verifier: a schema or cover violation fails the tests. *)
+let () = Analysis.Plan_verify.set_enabled true
+
 let u s = Rdf.Term.uri s
 let tr s p o = Rdf.Triple.make s p o
 let typ = Rdf.Vocab.rdf_type
@@ -414,7 +418,7 @@ let prop_jucq_covers_consistent =
         [ Jucq.ucq_cover q; Jucq.scq_cover q ])
 
 let qcheck_cases =
-  List.map QCheck_alcotest.to_alcotest
+  List.map (fun t -> QCheck_alcotest.to_alcotest t)
     [ prop_engine_matches_naive; prop_jucq_covers_consistent ]
 
 (* ---- differential: physical operators vs naive references ---- *)
@@ -523,7 +527,7 @@ let prop_dedup_matches_reference =
       = ref_dedup rows)
 
 let differential_cases =
-  List.map QCheck_alcotest.to_alcotest
+  List.map (fun t -> QCheck_alcotest.to_alcotest t)
     [
       prop_hash_join_matches_reference;
       prop_bnl_join_matches_reference;

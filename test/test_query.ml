@@ -273,6 +273,80 @@ let test_cover_query_join_var_not_distinguished () =
   Alcotest.(check (list string)) "f2 head is join var only" [ "y" ]
     (Bgp.head_vars f2)
 
+(* ---- check_cover edge cases ---- *)
+
+let test_cover_check_duplicate_atoms () =
+  (* A body with syntactically duplicate atoms: the indexes are distinct,
+     so singleton fragments over each copy are not "included" in one
+     another and both covers are valid. *)
+  let a = Bgp.atom (v "x") (c (u "p")) (v "y") in
+  let b = Bgp.atom (v "y") (c (u "q")) (v "z") in
+  let q = Bgp.make [ v "x" ] [ a; a; b ] in
+  (match Jucq.check_cover q (Jucq.ucq_cover q) with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail ("ucq cover over duplicates rejected: " ^ m));
+  (match Jucq.check_cover q (Jucq.scq_cover q) with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail ("scq cover over duplicates rejected: " ^ m));
+  (* … but a fragment covering both copies does include the singleton. *)
+  (match Jucq.check_cover q [ [ 0; 1 ]; [ 1 ]; [ 2 ] ] with
+  | Ok () -> Alcotest.fail "included duplicate fragment accepted"
+  | Error _ -> ());
+  (* the cover query of one duplicate has the same head as the other's *)
+  let cover = Jucq.scq_cover q in
+  Alcotest.(check (list string))
+    "duplicate cover queries agree"
+    (Bgp.head_vars (Jucq.cover_query q cover [ 0 ]))
+    (Bgp.head_vars (Jucq.cover_query q cover [ 1 ]))
+
+let test_cover_check_single_atom () =
+  let q = Bgp.make [ v "x" ] [ Bgp.atom (v "x") (c (u "p")) (v "y") ] in
+  Alcotest.(check bool) "ucq = scq on a single atom" true
+    (Jucq.ucq_cover q = Jucq.scq_cover q);
+  (match Jucq.check_cover q [ [ 0 ] ] with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail ("singleton cover rejected: " ^ m));
+  (match Jucq.check_cover q [] with
+  | Ok () -> Alcotest.fail "empty cover accepted"
+  | Error _ -> ());
+  (match Jucq.check_cover q [ [ 0 ]; [ 0 ] ] with
+  | Ok () -> Alcotest.fail "duplicate singleton fragments accepted"
+  | Error _ -> ());
+  (* a single-atom cover query keeps the whole head *)
+  Alcotest.(check (list string)) "head preserved" [ "x" ]
+    (Bgp.head_vars (Jucq.cover_query q [ [ 0 ] ] [ 0 ]))
+
+let test_cover_check_included_fragment () =
+  (match Jucq.check_cover q1 [ [ 0; 1 ]; [ 0 ]; [ 2 ] ] with
+  | Ok () -> Alcotest.fail "strictly included fragment accepted"
+  | Error m ->
+      Alcotest.(check bool) "mentions inclusion" true
+        (String.length m > 0));
+  match Jucq.check_cover q1 [ [ 0; 1; 2 ]; [ 2 ] ] with
+  | Ok () -> Alcotest.fail "fragment included in full cover accepted"
+  | Error _ -> ()
+
+let test_cover_query_repeated_head_vars () =
+  (* q(x,x) :- x p y, y q z: the repeated distinguished variable appears
+     once in each cover-query head (heads are variable {e sets} under
+     Definition 3.4). *)
+  let q =
+    Bgp.make
+      [ v "x"; v "x" ]
+      [
+        Bgp.atom (v "x") (c (u "p")) (v "y");
+        Bgp.atom (v "y") (c (u "q")) (v "z");
+      ]
+  in
+  let cover = [ [ 0 ]; [ 1 ] ] in
+  (match Jucq.check_cover q cover with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail ("repeated-head cover rejected: " ^ m));
+  Alcotest.(check (list string)) "f0 head" [ "x"; "y" ]
+    (Bgp.head_vars (Jucq.cover_query q cover [ 0 ]));
+  Alcotest.(check (list string)) "f1 head" [ "y" ]
+    (Bgp.head_vars (Jucq.cover_query q cover [ 1 ]))
+
 let identity_reformulation cq = Ucq.of_cqs [ cq ]
 
 let test_jucq_eval_equals_direct () =
@@ -371,6 +445,37 @@ let test_minimize_example4 () =
   in
   Alcotest.(check int) "specific absorbed" 1
     (Ucq.cardinal (Containment.minimize (Ucq.of_cqs [ general; specific ])))
+
+(* ---- minimize edge cases ---- *)
+
+let test_minimize_single_disjunct () =
+  let q = Bgp.make [ v "x" ] [ Bgp.atom (v "x") (c (u "p")) (v "y") ] in
+  let m = Containment.minimize (Ucq.of_cqs [ q ]) in
+  Alcotest.(check int) "single disjunct survives" 1 (Ucq.cardinal m);
+  Alcotest.(check bool) "unchanged" true (Bgp.equal q (List.hd (Ucq.disjuncts m)))
+
+let test_minimize_duplicate_atoms_equivalent () =
+  (* A disjunct with a duplicated atom is equivalent to the single-atom
+     disjunct; minimize keeps exactly one representative. *)
+  let a = Bgp.atom (v "x") (c (u "p")) (v "y") in
+  let single = Bgp.make [ v "x" ] [ a ] in
+  let doubled =
+    Bgp.make [ v "x" ] [ a; Bgp.atom (v "x") (c (u "p")) (v "z") ]
+  in
+  Alcotest.(check bool) "equivalent" true
+    (Containment.equivalent single doubled);
+  Alcotest.(check int) "one representative" 1
+    (Ucq.cardinal (Containment.minimize (Ucq.of_cqs [ single; doubled ])))
+
+let test_minimize_repeated_head_vars () =
+  (* q(x,x) :- x p y and q(x,y) :- x p y are incomparable: the head
+     [x,x] cannot map onto [x,y] position-wise nor vice versa. *)
+  let rep = Bgp.make [ v "x"; v "x" ] [ Bgp.atom (v "x") (c (u "p")) (v "y") ] in
+  let gen = Bgp.make [ v "x"; v "y" ] [ Bgp.atom (v "x") (c (u "p")) (v "y") ] in
+  Alcotest.(check bool) "rep ⋢ gen" false (Containment.contained rep gen);
+  Alcotest.(check bool) "gen ⋢ rep" false (Containment.contained gen rep);
+  Alcotest.(check int) "both stay" 2
+    (Ucq.cardinal (Containment.minimize (Ucq.of_cqs [ rep; gen ])))
 
 (* ---- Sparql ---- *)
 
@@ -548,7 +653,7 @@ let prop_minimize_preserves_answers =
       Ucq.eval g (Containment.minimize ucq) = Ucq.eval g ucq)
 
 let qcheck_cases =
-  List.map QCheck_alcotest.to_alcotest
+  List.map (fun t -> QCheck_alcotest.to_alcotest t)
     [
       prop_canonical_invariant;
       prop_eval_head_arity;
@@ -591,6 +696,10 @@ let () =
           Alcotest.test_case "valid covers" `Quick test_cover_check_valid;
           Alcotest.test_case "invalid covers" `Quick test_cover_check_invalid;
           Alcotest.test_case "fragment connectivity" `Quick test_cover_disconnected_fragment;
+          Alcotest.test_case "duplicate atoms" `Quick test_cover_check_duplicate_atoms;
+          Alcotest.test_case "single-atom query" `Quick test_cover_check_single_atom;
+          Alcotest.test_case "included fragment" `Quick test_cover_check_included_fragment;
+          Alcotest.test_case "repeated head vars" `Quick test_cover_query_repeated_head_vars;
           Alcotest.test_case "cover query (Def 3.4)" `Quick test_cover_query_def34;
           Alcotest.test_case "join var in heads" `Quick test_cover_query_join_var_not_distinguished;
           Alcotest.test_case "JUCQ eval = direct" `Quick test_jucq_eval_equals_direct;
@@ -603,6 +712,9 @@ let () =
           Alcotest.test_case "constants" `Quick test_containment_constants;
           Alcotest.test_case "equivalence" `Quick test_containment_equivalent_iso;
           Alcotest.test_case "minimize" `Quick test_minimize_example4;
+          Alcotest.test_case "minimize single disjunct" `Quick test_minimize_single_disjunct;
+          Alcotest.test_case "minimize duplicate atoms" `Quick test_minimize_duplicate_atoms_equivalent;
+          Alcotest.test_case "minimize repeated head vars" `Quick test_minimize_repeated_head_vars;
         ] );
       ( "sparql",
         [

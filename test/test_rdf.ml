@@ -485,7 +485,7 @@ let prop_ntriples_roundtrip =
       && List.for_all2 Rdf.Triple.equal triples back)
 
 let qcheck_cases =
-  List.map QCheck_alcotest.to_alcotest
+  List.map (fun t -> QCheck_alcotest.to_alcotest t)
     [
       prop_saturation_idempotent;
       prop_saturation_monotone;

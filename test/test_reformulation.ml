@@ -323,7 +323,7 @@ let prop_product_bound_is_upper_bound =
       >= Reformulation.Reformulate.count t q)
 
 let qcheck_cases =
-  List.map QCheck_alcotest.to_alcotest
+  List.map (fun t -> QCheck_alcotest.to_alcotest t)
     [
       prop_product_bound_is_upper_bound;
       prop_factorized_equals_naive;

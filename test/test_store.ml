@@ -274,7 +274,7 @@ let prop_saturate_matches_graph_saturation =
       Rdf.Graph.equal (Store.Encoded_store.to_graph sat_store) sat_graph)
 
 let qcheck_cases =
-  List.map QCheck_alcotest.to_alcotest
+  List.map (fun t -> QCheck_alcotest.to_alcotest t)
     [ prop_count_matches_naive; prop_saturate_matches_graph_saturation ]
 
 let () =

@@ -5,6 +5,10 @@
 
 open Query
 
+(* Every plan compiled while this suite runs goes through the static
+   plan verifier: a schema or cover violation fails the tests. *)
+let () = Analysis.Plan_verify.set_enabled true
+
 let v x = Bgp.Var x
 let c t = Bgp.Const t
 let typ = Rdf.Vocab.rdf_type
