@@ -336,7 +336,16 @@ let strategy_engine_figure ~title ds ~runs =
           Printf.printf "%-5s %-14s %s\n%!" name ename
             (String.concat " " cells))
         systems)
-    ds.queries
+    ds.queries;
+  (* Lifetime engine meters: failed statements charge work too, so these
+     totals account for everything the figure above made each engine do. *)
+  List.iter
+    (fun (ename, sys) ->
+      let ex = Rqa.Answering.engine sys in
+      Printf.printf "-- %-14s %12d ops over %d statements\n%!" ename
+        (Engine.Executor.total_operations ex)
+        (Engine.Executor.statements_run ex))
+    systems
 
 let fig4 ctx =
   let ds = Lazy.force ctx.lubm_s in

@@ -6,7 +6,9 @@
      reformulate  print the CQ->UCQ reformulation of a query
      explain      list the query's covers with their estimated costs
      sql          print the SQL a JUCQ reformulation ships to an RDBMS
-     check        statically lint queries, covers and compiled plan shapes *)
+     check        statically lint queries, covers and compiled plan shapes
+     trace        run a query with pipeline tracing: EXPLAIN ANALYZE tree,
+                  span timings, estimated-vs-actual cardinalities *)
 
 open Cmdliner
 
@@ -114,6 +116,87 @@ let load_store ?schema path =
       Store.Encoded_store.of_graph
         (Rdf.Graph.make s (Rdf.Graph.fact_list g))
 
+(* ---------- tracing helpers ---------- *)
+
+let trace_flag_arg =
+  Arg.(
+    value & flag
+    & info [ "trace" ]
+        ~doc:
+          "Enable pipeline tracing: print span timings, per-rule counters \
+           and the EXPLAIN ANALYZE operator tree after the command.")
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the trace to FILE (implies tracing): JSON-lines by \
+           default, Chrome trace_event format when FILE ends in .trace or \
+           .chrome.json (loadable in chrome://tracing or Perfetto).")
+
+let chrome_file f =
+  Filename.check_suffix f ".trace" || Filename.check_suffix f ".chrome.json"
+
+let write_trace_file ?query ?ops file =
+  let events = Obs.events () in
+  let oc = open_out file in
+  (if chrome_file file then output_string oc (Obs.Export.chrome events)
+   else begin
+     output_string oc (Obs.Export.meta_line ());
+     output_char oc '\n';
+     output_string oc
+       (Obs.Export.jsonl ?query ?ops ~events ~estimates:(Obs.estimates ())
+          ~counters:(Obs.counters ()) ())
+   end);
+  close_out oc;
+  Printf.printf "-- trace written to %s\n" file
+
+let print_trace_summary () =
+  let events =
+    List.sort
+      (fun (a : Obs.event) b -> Float.compare a.Obs.start_us b.Obs.start_us)
+      (Obs.events ())
+  in
+  if events <> [] then begin
+    print_endline "-- spans:";
+    List.iter
+      (fun (e : Obs.event) ->
+        let attrs =
+          match e.Obs.attrs with
+          | [] -> ""
+          | l ->
+              "  ("
+              ^ String.concat ", " (List.map (fun (k, v) -> k ^ "=" ^ v) l)
+              ^ ")"
+        in
+        Printf.printf "   %s%s %.2f ms%s\n"
+          (String.make (2 * e.Obs.depth) ' ')
+          e.Obs.name
+          (e.Obs.dur_us /. 1000.0)
+          attrs)
+      events
+  end;
+  match Obs.counters () with
+  | [] -> ()
+  | cs ->
+      print_endline "-- counters:";
+      List.iter (fun (k, v) -> Printf.printf "   %-36s %d\n" k v) cs
+
+let print_op_tree ex =
+  match Engine.Executor.last_op_stats ex with
+  | Some root ->
+      print_endline "-- EXPLAIN ANALYZE:";
+      print_string (Obs.Op_stats.to_string root)
+  | None -> ()
+
+let print_engine_counters ex =
+  Printf.printf "-- engine: %d ops this statement; %d ops over %d statements\n"
+    (Engine.Executor.last_operations ex)
+    (Engine.Executor.total_operations ex)
+    (Engine.Executor.statements_run ex)
+
 (* ---------- generate ---------- *)
 
 let generate_cmd =
@@ -163,13 +246,19 @@ let query_cmd =
       value & opt int 20
       & info [ "limit" ] ~docv:"N" ~doc:"Print at most N answer rows.")
   in
-  let run data wq qs qf strategy profile show_cover limit =
+  let run data wq qs qf strategy profile show_cover limit trace trace_out =
     match resolve_query wq qs qf with
     | Error msg -> prerr_endline msg; exit 2
     | Ok (q, schema) -> (
         let store = load_store ?schema data in
         let sys = Rqa.Answering.make ~profile store in
         let strategy = to_strategy strategy in
+        let tracing = trace || trace_out <> None in
+        if tracing then begin
+          Obs.reset ();
+          Obs.set_enabled true
+        end;
+        let qname = match wq with Some w -> w | None -> "query" in
         let t0 = now_ms () in
         match Rqa.Answering.answer sys strategy q with
         | report ->
@@ -194,20 +283,46 @@ let query_cmd =
               profile.Engine.Profile.name report.Rqa.Answering.union_terms
               report.Rqa.Answering.planning_ms
               report.Rqa.Answering.execution_ms total;
+            (match report.Rqa.Answering.fragment_terms with
+            | [] | [ _ ] -> ()
+            | ts ->
+                Printf.printf "-- fragment union sizes: %s\n"
+                  (String.concat " + " (List.map string_of_int ts)));
+            print_engine_counters ex;
             (match (show_cover, report.Rqa.Answering.cover) with
             | true, Some cover ->
                 Printf.printf "-- cover: %s\n" (Query.Jucq.cover_to_string cover)
-            | _ -> ())
+            | _ -> ());
+            if tracing then begin
+              Obs.set_enabled false;
+              if trace then begin
+                print_op_tree ex;
+                print_trace_summary ()
+              end;
+              match trace_out with
+              | Some f ->
+                  write_trace_file ~query:qname
+                    ?ops:(Engine.Executor.last_op_stats ex) f
+              | None -> ()
+            end
         | exception Engine.Profile.Engine_failure { engine; reason } ->
             Printf.printf "ENGINE FAILURE (%s): %s\n" engine
               (Engine.Profile.failure_to_string reason);
+            if tracing then begin
+              Obs.set_enabled false;
+              if trace then print_trace_summary ();
+              match trace_out with
+              | Some f -> write_trace_file ~query:qname f
+              | None -> ()
+            end;
             exit 1)
   in
   Cmd.v
     (Cmd.info "query" ~doc:"Answer a SPARQL BGP query.")
     Term.(
       const run $ data_arg $ workload_query_arg $ query_string_arg
-      $ query_file_arg $ strategy_arg $ engine_arg $ show_cover $ limit)
+      $ query_file_arg $ strategy_arg $ engine_arg $ show_cover $ limit
+      $ trace_flag_arg $ trace_out_arg)
 
 (* ---------- reformulate ---------- *)
 
@@ -350,6 +465,124 @@ let sql_cmd =
       const run $ data_arg $ workload_query_arg $ query_string_arg
       $ query_file_arg $ engine_arg $ cover_arg)
 
+(* ---------- trace ---------- *)
+
+let trace_cmd =
+  let workload =
+    Arg.(
+      value
+      & opt (some (enum [ ("lubm", `Lubm); ("dblp", `Dblp) ])) None
+      & info [ "w"; "workload" ] ~docv:"WORKLOAD"
+          ~doc:
+            "Trace every evaluation query of the workload and print the \
+             aggregate calibration report (estimated-vs-actual Q-errors).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Write the trace as JSON-lines to FILE.")
+  in
+  let chrome =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chrome" ] ~docv:"FILE"
+          ~doc:
+            "Write the spans as a Chrome trace_event JSON file (open in \
+             chrome://tracing or Perfetto).")
+  in
+  let run data wl wq qs qf strategy profile out chrome =
+    let strategy = to_strategy strategy in
+    let queries, schema =
+      match wl with
+      | Some `Lubm ->
+          ( List.map (fun (n, q) -> ("lubm:" ^ n, q)) Workloads.Lubm.queries,
+            Some Workloads.Lubm.schema )
+      | Some `Dblp ->
+          ( List.map (fun (n, q) -> ("dblp:" ^ n, q)) Workloads.Dblp.queries,
+            Some Workloads.Dblp.schema )
+      | None -> (
+          match resolve_query wq qs qf with
+          | Error msg -> prerr_endline msg; exit 2
+          | Ok (q, schema) ->
+              let name = match wq with Some w -> w | None -> "query" in
+              ([ (name, q) ], schema))
+    in
+    let store = load_store ?schema data in
+    let sys = Rqa.Answering.make ~profile store in
+    let single = List.length queries = 1 in
+    let jsonl_buf = Buffer.create 4096 in
+    Buffer.add_string jsonl_buf (Obs.Export.meta_line ());
+    Buffer.add_char jsonl_buf '\n';
+    let all_events = ref [] in
+    let all_estimates = ref [] in
+    List.iter
+      (fun (name, q) ->
+        Obs.reset ();
+        Obs.set_enabled true;
+        let outcome =
+          match Rqa.Answering.answer sys strategy q with
+          | report -> Ok report
+          | exception Engine.Profile.Engine_failure { reason; _ } ->
+              Error (Engine.Profile.failure_to_string reason)
+        in
+        Obs.set_enabled false;
+        let ex =
+          match strategy with
+          | Rqa.Answering.Saturation -> Rqa.Answering.saturated_engine sys
+          | _ -> Rqa.Answering.engine sys
+        in
+        (match outcome with
+        | Ok report ->
+            Printf.printf "%-10s %8d rows  planning %.1f ms  execution %.1f ms\n%!"
+              name
+              (Engine.Relation.rows report.Rqa.Answering.answers)
+              report.Rqa.Answering.planning_ms
+              report.Rqa.Answering.execution_ms
+        | Error reason -> Printf.printf "%-10s FAIL: %s\n%!" name reason);
+        if single then begin
+          print_op_tree ex;
+          print_trace_summary ();
+          print_engine_counters ex
+        end;
+        all_events := !all_events @ Obs.events ();
+        all_estimates := !all_estimates @ Obs.estimates ();
+        Buffer.add_string jsonl_buf
+          (Obs.Export.jsonl ~query:name
+             ?ops:(Engine.Executor.last_op_stats ex)
+             ~events:(Obs.events ()) ~estimates:(Obs.estimates ())
+             ~counters:(Obs.counters ()) ()))
+      queries;
+    if not single then
+      print_string (Obs.Calibration.to_string
+                      (Obs.Calibration.of_estimates !all_estimates));
+    (match out with
+    | Some f ->
+        let oc = open_out f in
+        Buffer.output_buffer oc jsonl_buf;
+        close_out oc;
+        Printf.printf "-- trace written to %s\n" f
+    | None -> ());
+    match chrome with
+    | Some f ->
+        let oc = open_out f in
+        output_string oc (Obs.Export.chrome !all_events);
+        close_out oc;
+        Printf.printf "-- chrome trace written to %s\n" f
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run a query (or a whole workload) with pipeline tracing: span \
+          timings, per-operator runtime metrics with estimated vs actual \
+          cardinalities, and the calibration report.")
+    Term.(
+      const run $ data_arg $ workload $ workload_query_arg $ query_string_arg
+      $ query_file_arg $ strategy_arg $ engine_arg $ out $ chrome)
+
 (* ---------- check ---------- *)
 
 let check_cmd =
@@ -402,14 +635,21 @@ let check_cmd =
     in
     Rdf.Graph.schema g
   in
-  let run query_file workload wq qs data strict machine codes =
+  let run query_file workload wq qs data strict machine codes trace trace_out =
     if codes then
       List.iter
         (fun (code, doc) -> Printf.printf "%s  %s\n" code doc)
         Analysis.Diagnostic.catalog
     else begin
+      let tracing = trace || trace_out <> None in
+      if tracing then begin
+        Obs.reset ();
+        Obs.set_enabled true
+      end;
       let reports =
-        match workload with
+        Obs.Span.with_ "check" @@ fun sp ->
+        let reports =
+          match workload with
         | Some `Lubm ->
             Analysis.Checker.check_workload ~schema:Workloads.Lubm.schema
               (List.map (fun (n, q) -> ("lubm:" ^ n, q)) Workloads.Lubm.queries)
@@ -433,6 +673,9 @@ let check_cmd =
                   | None, None -> "query"
                 in
                 [ (name, Analysis.Checker.check_query ?schema ~name q) ])
+        in
+        Obs.Span.set sp "queries" (string_of_int (List.length reports));
+        reports
       in
       let all = List.concat_map snd reports in
       List.iter
@@ -452,6 +695,11 @@ let check_cmd =
       if not machine then
         Printf.printf "-- %d queries checked: %s\n" (List.length reports)
           (Analysis.Diagnostic.summary all);
+      if tracing then begin
+        Obs.set_enabled false;
+        if trace then print_trace_summary ();
+        match trace_out with Some f -> write_trace_file f | None -> ()
+      end;
       let failing (d : Analysis.Diagnostic.t) =
         Analysis.Diagnostic.is_error d
         || (strict && d.Analysis.Diagnostic.severity = Analysis.Diagnostic.Warning)
@@ -466,7 +714,8 @@ let check_cmd =
           checks and compiled-plan schema consistency — nothing is executed.")
     Term.(
       const run $ query_file_pos $ workload $ workload_query_arg
-      $ query_string_arg $ data $ strict $ machine $ codes)
+      $ query_string_arg $ data $ strict $ machine $ codes $ trace_flag_arg
+      $ trace_out_arg)
 
 let () =
   let info =
@@ -479,5 +728,5 @@ let () =
        (Cmd.group info
           [
             generate_cmd; query_cmd; reformulate_cmd; explain_cmd; sql_cmd;
-            check_cmd;
+            check_cmd; trace_cmd;
           ]))

@@ -77,6 +77,7 @@ type report = {
   strategy : strategy;
   cover : Jucq.cover option;
   union_terms : int;
+  fragment_terms : int list;
   estimated_cost : float;
   covers_explored : int;
   planning_ms : float;
@@ -114,8 +115,16 @@ let run_cover s strategy q cover ~covers_explored ~planning_start =
       if bound > profile.Engine.Profile.max_union_terms then refuse bound)
     cover;
   let jucq =
-    try Jucq.make ~reformulate:obj_free_reformulate q cover
-    with Reformulation.Reformulate.Too_large { bound; _ } -> refuse bound
+    Obs.Span.with_ "plan.jucq" @@ fun sp ->
+    let jucq =
+      try Jucq.make ~reformulate:obj_free_reformulate q cover
+      with Reformulation.Reformulate.Too_large { bound; _ } -> refuse bound
+    in
+    Obs.Span.set sp "fragments"
+      (string_of_int (List.length jucq.Jucq.fragments));
+    Obs.Span.set sp "union_terms"
+      (string_of_int (Jucq.total_disjuncts jucq));
+    jucq
   in
   (* With verification on, check the full plan against the originating
      query and cover (Definitions 3.3/3.4 + schema consistency) before
@@ -125,9 +134,14 @@ let run_cover s strategy q cover ~covers_explored ~planning_start =
         ~context:("answering/" ^ strategy_name strategy)
         jucq);
   let estimated_cost =
-    match s.oracle with
-    | Paper_model -> Cost_model.jucq_cost s.cost jucq
-    | Engine_model -> Engine.Executor.explain_cost s.engine jucq
+    Obs.Span.with_ "plan.cost" @@ fun sp ->
+    let c =
+      match s.oracle with
+      | Paper_model -> Cost_model.jucq_cost s.cost jucq
+      | Engine_model -> Engine.Executor.explain_cost s.engine jucq
+    in
+    Obs.Span.set sp "estimated_cost" (Printf.sprintf "%.6g" c);
+    c
   in
   let planning_ms = now_ms () -. planning_start in
   let exec_start = now_ms () in
@@ -137,6 +151,8 @@ let run_cover s strategy q cover ~covers_explored ~planning_start =
     strategy;
     cover = Some cover;
     union_terms = Jucq.total_disjuncts jucq;
+    fragment_terms =
+      List.map (fun (_, u) -> Ucq.cardinal u) jucq.Jucq.fragments;
     estimated_cost;
     covers_explored;
     planning_ms;
@@ -144,6 +160,8 @@ let run_cover s strategy q cover ~covers_explored ~planning_start =
   }
 
 let answer s strategy q =
+  Obs.Span.with_ "answer" ~attrs:[ ("strategy", strategy_name strategy) ]
+  @@ fun _sp ->
   let q = Bgp.normalize q in
   match strategy with
   | Saturation ->
@@ -157,6 +175,7 @@ let answer s strategy q =
         strategy;
         cover = None;
         union_terms = 1;
+        fragment_terms = [ 1 ];
         estimated_cost = 0.0;
         covers_explored = 0;
         planning_ms;

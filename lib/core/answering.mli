@@ -75,6 +75,7 @@ type report = {
   strategy : strategy;
   cover : Query.Jucq.cover option;      (** cover used (reformulation strategies) *)
   union_terms : int;             (** total CQs across fragments ([|q_ref|]-like) *)
+  fragment_terms : int list;     (** per-fragment UCQ sizes, cover order ([1] for Saturation) *)
   estimated_cost : float;        (** cost the oracle assigned to the plan run *)
   covers_explored : int;         (** ECov/GCov search effort *)
   planning_ms : float;           (** reformulation + search wall-clock time *)

@@ -9,9 +9,17 @@ type result = {
 }
 
 let search ?(budget = Cover_space.default_budget) (obj : Objective.t) =
+  Obs.Span.with_ "plan.cover_search" ~attrs:[ ("algo", "ecov") ]
+  @@ fun sp ->
   let t0 = Sys.time () in
   let q = Objective.query obj in
-  let { Cover_space.covers; complete } = Cover_space.enumerate ~budget q in
+  let { Cover_space.covers; complete } =
+    Obs.Span.with_ "plan.cover_enum" @@ fun esp ->
+    let r = Cover_space.enumerate ~budget q in
+    Obs.Span.set esp "covers" (string_of_int (List.length r.Cover_space.covers));
+    Obs.Span.set esp "complete" (string_of_bool r.Cover_space.complete);
+    r
+  in
   (* Costing a cover means reformulating its fragments, which dominates on
      large-reformulation queries: the time budget applies here too. *)
   let timed_out = ref false in
@@ -32,23 +40,28 @@ let search ?(budget = Cover_space.default_budget) (obj : Objective.t) =
       None covers
   in
   let complete = complete && not !timed_out in
-  match best with
-  | None ->
-      (* Enumeration found nothing within budget: fall back to the flat
-         UCQ cover, which is always valid for connected queries. *)
-      let cover = Jucq.ucq_cover q in
-      {
-        cover;
-        cost = Objective.cover_cost obj cover;
-        explored = Objective.explored obj;
-        complete = false;
-        elapsed_ms = (Sys.time () -. t0) *. 1000.0;
-      }
-  | Some (cover, cost) ->
-      {
-        cover;
-        cost;
-        explored = Objective.explored obj;
-        complete;
-        elapsed_ms = (Sys.time () -. t0) *. 1000.0;
-      }
+  let r =
+    match best with
+    | None ->
+        (* Enumeration found nothing within budget: fall back to the flat
+           UCQ cover, which is always valid for connected queries. *)
+        let cover = Jucq.ucq_cover q in
+        {
+          cover;
+          cost = Objective.cover_cost obj cover;
+          explored = Objective.explored obj;
+          complete = false;
+          elapsed_ms = (Sys.time () -. t0) *. 1000.0;
+        }
+    | Some (cover, cost) ->
+        {
+          cover;
+          cost;
+          explored = Objective.explored obj;
+          complete;
+          elapsed_ms = (Sys.time () -. t0) *. 1000.0;
+        }
+  in
+  Obs.Span.set sp "explored" (string_of_int r.explored);
+  Obs.Span.set sp "complete" (string_of_bool r.complete);
+  r

@@ -99,10 +99,14 @@ end)
 
 let search ?(max_moves = 10_000) ?(ordering = Cost_sorted)
     ?(stop = Exhausted) (obj : Objective.t) =
+  Obs.Span.with_ "plan.cover_search" ~attrs:[ ("algo", "gcov") ]
+  @@ fun sp ->
   let t0 = Sys.time () in
   let q = Objective.query obj in
   let c0 = Jucq.scq_cover q in
   let finish cover cost moves_applied =
+    Obs.Span.set sp "explored" (string_of_int (Objective.explored obj));
+    Obs.Span.set sp "moves" (string_of_int moves_applied);
     {
       cover;
       cost;

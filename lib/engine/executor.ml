@@ -34,15 +34,26 @@ type ecq = {
   head : slot array;
   atoms : eatom array;
   prop_codes : int option array;  (* constant property code per atom, if any *)
+  labels : string array;  (* rendered source atoms, for traces/EXPLAIN *)
 }
 
-type plan = { pcq : ecq; porder : int array }
+type plan = {
+  pcq : ecq;
+  porder : int array;
+  pest : float array;
+      (* per-depth estimated intermediate cardinality (product of the
+         greedy planner's per-step scores) — the "est" column of
+         EXPLAIN ANALYZE scan nodes *)
+}
 
 type t = {
   store : Es.t;
   profile : Profile.t;
   stats : Store.Statistics.t;
   mutable ops : int;
+  mutable total_ops : int;  (* monotonic across statements *)
+  mutable statements : int;  (* statements started (incl. failed ones) *)
+  mutable last_stats : Obs.Op_stats.t option;  (* last statement's op tree *)
   plans : plan option Plan_tbl.t;
   ucq_plans : plan option array Ucq_tbl.t;  (* one entry per disjunct *)
   mutable plans_version : int;  (* store version the cached plans assume *)
@@ -56,6 +67,9 @@ let create ?(profile = Profile.postgres_like) store =
     profile;
     stats = Store.Statistics.create store;
     ops = 0;
+    total_ops = 0;
+    statements = 0;
+    last_stats = None;
     plans = Plan_tbl.create 256;
     ucq_plans = Ucq_tbl.create 64;
     plans_version = Es.version store;
@@ -65,12 +79,25 @@ let store t = t.store
 let profile t = t.profile
 let statistics t = t.stats
 let last_operations t = t.ops
+let total_operations t = t.total_ops
+let statements_run t = t.statements
+let last_op_stats t = t.last_stats
+
+(* Statement prologue: reset the per-statement meter, bump the monotonic
+   counters, drop the previous statement's op tree.  Charging below feeds
+   [total_ops] too, so the cumulative count stays exact even when a
+   statement dies mid-flight on a budget violation. *)
+let begin_statement t =
+  t.ops <- 0;
+  t.statements <- t.statements + 1;
+  t.last_stats <- None
 
 let fail t reason =
   raise (Profile.Engine_failure { engine = t.profile.Profile.name; reason })
 
 let charge t n =
   t.ops <- t.ops + n;
+  t.total_ops <- t.total_ops + n;
   if t.ops > t.profile.Profile.max_operations then
     fail t (Profile.Operation_budget { limit = t.profile.Profile.max_operations })
 
@@ -84,6 +111,13 @@ let check_materialization t rel =
 (* ---- CQ compilation ---- *)
 
 exception Unsatisfiable  (* a query constant absent from the dictionary *)
+
+let atom_label (a : Bgp.atom) =
+  let pt = function
+    | Bgp.Var v -> "?" ^ v
+    | Bgp.Const c -> Rdf.Term.to_string c
+  in
+  Printf.sprintf "[%s %s %s]" (pt a.s) (pt a.p) (pt a.o)
 
 let compile t (q : Bgp.t) : ecq =
   let q = Bgp.normalize q in
@@ -124,6 +158,7 @@ let compile t (q : Bgp.t) : ecq =
     head = Array.of_list (List.map head_slot q.head);
     atoms;
     prop_codes;
+    labels = Array.of_list (List.map atom_label q.body);
   }
 
 (* ---- atom ordering (greedy selectivity) ---- *)
@@ -174,6 +209,11 @@ let order_atoms t (cq : ecq) =
     has cq.atoms.(i).es || has cq.atoms.(i).ep || has cq.atoms.(i).eo
   in
   let order = Array.make n 0 in
+  (* Cumulative product of the per-step selectivity estimates: the greedy
+     planner's own guess at the size of each intermediate result, recorded
+     so EXPLAIN ANALYZE can show estimated next to actual per scan depth. *)
+  let est = Array.make n 0.0 in
+  let cum = ref 1.0 in
   for step = 0 to n - 1 do
     let best = ref (-1) in
     let best_score = ref infinity in
@@ -188,11 +228,13 @@ let order_atoms t (cq : ecq) =
         end
       end
     done;
+    cum := !cum *. plan_estimate t cq !best bound;
+    est.(step) <- !cum;
     order.(step) <- !best;
     used.(!best) <- true;
     bind_atom !best
   done;
-  order
+  (order, est)
 
 (* ---- CQ execution: index nested loops ---- *)
 
@@ -211,17 +253,35 @@ let unify bindings undo upos slot value =
       end
       else Array.unsafe_get bindings v = value
 
-let exec_cq t (p : plan) ~(emit : int array -> unit) =
+(* Optional per-depth scan counters, allocated only while tracing: index
+   lookups, ids visited and rows advanced per pipeline level, turned into
+   the [IndexScan] chain of the statement's op-stats tree.  The disabled
+   path costs one [tr] test per index lookup and per advanced row — no
+   allocation, no charge difference (counters never call {!charge}). *)
+type cq_counters = {
+  probes : int array;  (* index lookups issued at depth k *)
+  scanned : int array;  (* candidate ids visited at depth k *)
+  advanced : int array;  (* rows depth k passed down to depth k+1 *)
+}
+
+let exec_cq t ?counters (p : plan) ~(emit : int array -> unit) =
   let cq = p.pcq in
   let bindings = Array.make (max 1 cq.nvars) (-1) in
   let order = p.porder in
   let natoms = Array.length order in
   let head_buf = Array.make (Array.length cq.head) 0 in
+  let tr = counters <> None in
+  let ctr =
+    match counters with
+    | Some c -> c
+    | None -> { probes = [||]; scanned = [||]; advanced = [||] }
+  in
   (* Per-depth rollback slots: level [k] records at most the three
      variables its atom bound in [undo.(3k) .. undo.(3k+2)] (-1 = none).
      Preallocated once — the per-row path allocates nothing. *)
   let undo = Array.make (max 1 (3 * natoms)) (-1) in
   let rec step k =
+    if tr && k > 0 then ctr.advanced.(k - 1) <- ctr.advanced.(k - 1) + 1;
     if k = natoms then begin
       for j = 0 to Array.length cq.head - 1 do
         head_buf.(j) <-
@@ -244,6 +304,10 @@ let exec_cq t (p : plan) ~(emit : int array -> unit) =
       let sel = Es.select t.store ~s ~p ~o in
       let n = Es.selected_count sel in
       charge t (max 1 (n / 64) + n);
+      if tr then begin
+        ctr.probes.(k) <- ctr.probes.(k) + 1;
+        ctr.scanned.(k) <- ctr.scanned.(k) + n
+      end;
       let base = 3 * k in
       let probe id =
         let ts = Es.unsafe_subject t.store id
@@ -297,7 +361,9 @@ let flush_stale_plans t =
 let compile_plan t (q : Bgp.t) =
   match compile t q with
   | exception Unsatisfiable -> None
-  | cq -> Some { pcq = cq; porder = order_atoms t cq }
+  | cq ->
+      let porder, pest = order_atoms t cq in
+      Some { pcq = cq; porder; pest }
 
 let plan_of t (q : Bgp.t) =
   flush_stale_plans t;
@@ -322,46 +388,176 @@ let ucq_plans t (u : Ucq.t) =
         Ucq_tbl.add t.ucq_plans u ps;
       ps
 
-let eval_cq_into t (q : Bgp.t) (out : Relation.t) =
-  match plan_of t q with
+(* Builds the [IndexScan] chain of a finished CQ pipeline under [parent]:
+   the driving scan on top, each probed atom nested below it, estimated
+   cardinalities from the greedy planner's own per-step scores. *)
+let attach_scan_chain (p : plan) ctr parent =
+  let natoms = Array.length p.porder in
+  let rec build k =
+    if k >= natoms then None
+    else begin
+      let node =
+        Obs.Op_stats.make
+          ~label:p.pcq.labels.(p.porder.(k))
+          ~est_rows:p.pest.(k) Obs.Op_stats.Index_scan
+      in
+      node.Obs.Op_stats.rows_in <- ctr.scanned.(k);
+      node.Obs.Op_stats.index_probes <- ctr.probes.(k);
+      node.Obs.Op_stats.rows_out <- ctr.advanced.(k);
+      (match build (k + 1) with
+      | Some child -> Obs.Op_stats.add_child node child
+      | None -> ());
+      Some node
+    end
+  in
+  match build 0 with
+  | Some n -> Obs.Op_stats.add_child parent n
   | None -> ()
-  | Some p -> exec_cq t p ~emit:(fun row -> Relation.append out row)
+
+(* [exec_cq] with the scan chain attached under [stats] — even when the
+   statement dies mid-pipeline, so failed statements keep a partial
+   EXPLAIN.  With [stats = None] this is exactly [exec_cq]. *)
+let exec_cq_traced t ?stats p ~emit =
+  match stats with
+  | None -> exec_cq t p ~emit
+  | Some parent ->
+      let natoms = max 1 (Array.length p.porder) in
+      let ctr =
+        {
+          probes = Array.make natoms 0;
+          scanned = Array.make natoms 0;
+          advanced = Array.make natoms 0;
+        }
+      in
+      Fun.protect
+        ~finally:(fun () -> attach_scan_chain p ctr parent)
+        (fun () -> exec_cq t ~counters:ctr p ~emit)
 
 let eval_cq t (q : Bgp.t) =
-  t.ops <- 0;
+  begin_statement t;
   Analysis.Plan_verify.check_exn (fun () ->
       Analysis.Plan_verify.verify_cq ~context:"executor/cq" q);
+  Obs.Span.with_ "exec.cq" @@ fun sp ->
+  let tr = Obs.enabled () in
   let out = Relation.create ~cols:(List.length q.Bgp.head) in
-  eval_cq_into t q out;
+  let root =
+    if tr then
+      Some (Obs.Op_stats.make ~label:(Bgp.to_string q) Obs.Op_stats.Cq)
+    else None
+  in
+  (match plan_of t q with
+  | None -> ()
+  | Some p ->
+      exec_cq_traced t ?stats:root p ~emit:(fun row -> Relation.append out row));
+  let pre = Relation.rows out in
   let result = Relation.dedup out in
-  charge t (Relation.rows out);
+  charge t pre;
+  (match root with
+  | None -> ()
+  | Some node ->
+      let est = Store.Statistics.cq_cardinality t.stats q in
+      let rows = Relation.rows result in
+      node.Obs.Op_stats.rows_out <- pre;
+      node.Obs.Op_stats.est_rows <- est;
+      let dedup =
+        Obs.Op_stats.make ~label:"set semantics" ~est_rows:est
+          Obs.Op_stats.Dedup
+      in
+      dedup.Obs.Op_stats.rows_in <- pre;
+      dedup.Obs.Op_stats.rows_out <- rows;
+      dedup.Obs.Op_stats.work_units <- pre;
+      Obs.Op_stats.add_child dedup node;
+      Obs.record_estimate ~label:"cq" ~est ~actual:(float_of_int rows);
+      t.last_stats <- Some dedup;
+      Obs.Span.set sp "rows" (string_of_int rows);
+      Obs.Span.set sp "ops" (string_of_int t.ops));
   result
 
 (* ---- UCQ execution ---- *)
 
-let eval_ucq_fragment t (u : Ucq.t) =
+(* Evaluates one fragment UCQ; when tracing, also returns the fragment's
+   op-stats subtree (Dedup over Union over per-disjunct CQ pipelines),
+   labelled [label].  The charge sequence is byte-for-byte that of the
+   untraced path: tracing only reads counters, it never charges. *)
+let eval_ucq_fragment t ?(label = "") (u : Ucq.t) =
   let terms = Ucq.cardinal u in
   if terms > t.profile.Profile.max_union_terms then
     fail t
       (Profile.Union_capacity
          { terms; limit = t.profile.Profile.max_union_terms });
+  let tr = Obs.enabled () in
   let out = Relation.create ~cols:(Ucq.arity u) in
   let emit row = Relation.append out row in
-  Array.iter
-    (fun p ->
-      (match p with None -> () | Some p -> exec_cq t p ~emit);
+  let union_node =
+    if tr then
+      Some
+        (Obs.Op_stats.make
+           ~label:(Printf.sprintf "%d disjuncts" terms)
+           Obs.Op_stats.Union)
+    else None
+  in
+  let disjuncts = if tr then Array.of_list (Ucq.disjuncts u) else [||] in
+  Array.iteri
+    (fun i p ->
+      (match p with
+      | None -> ()
+      | Some p -> (
+          match union_node with
+          | None -> exec_cq t p ~emit
+          | Some un ->
+              let before = Relation.rows out in
+              let cq = disjuncts.(i) in
+              let est = Store.Statistics.cq_cardinality t.stats cq in
+              let cqn =
+                Obs.Op_stats.make ~label:(Bgp.to_string cq) ~est_rows:est
+                  Obs.Op_stats.Cq
+              in
+              Obs.Op_stats.add_child un cqn;
+              exec_cq_traced t ~stats:cqn p ~emit;
+              cqn.Obs.Op_stats.rows_out <- Relation.rows out - before;
+              Obs.record_estimate ~label:"cq" ~est
+                ~actual:(float_of_int cqn.Obs.Op_stats.rows_out)));
       check_materialization t out)
     (ucq_plans t u);
   charge t (Relation.rows out);
   let result = Relation.dedup out in
   check_materialization t result;
-  result
+  match union_node with
+  | None -> (result, None)
+  | Some un ->
+      let est = Store.Statistics.ucq_cardinality t.stats u in
+      let pre = Relation.rows out in
+      let rows = Relation.rows result in
+      un.Obs.Op_stats.rows_out <- pre;
+      un.Obs.Op_stats.est_rows <- est;
+      let dd =
+        Obs.Op_stats.make
+          ~label:(if label = "" then "set semantics" else label)
+          ~est_rows:est Obs.Op_stats.Dedup
+      in
+      dd.Obs.Op_stats.rows_in <- pre;
+      dd.Obs.Op_stats.rows_out <- rows;
+      dd.Obs.Op_stats.work_units <- pre;
+      Obs.Op_stats.add_child dd un;
+      Obs.record_estimate
+        ~label:(if label = "" then "ucq" else label)
+        ~est ~actual:(float_of_int rows);
+      (result, Some dd)
 
 let eval_ucq t u =
-  t.ops <- 0;
+  begin_statement t;
   Analysis.Plan_verify.check_exn (fun () ->
       Analysis.Plan_verify.verify_ucq ~context:"executor/ucq" u);
-  eval_ucq_fragment t u
+  Obs.Span.with_ "exec.ucq" @@ fun sp ->
+  let result, tree = eval_ucq_fragment t ~label:"ucq" u in
+  (match tree with
+  | None -> ()
+  | Some dd ->
+      t.last_stats <- Some dd;
+      Obs.Span.set sp "union_terms" (string_of_int (Ucq.cardinal u));
+      Obs.Span.set sp "rows" (string_of_int (Relation.rows result));
+      Obs.Span.set sp "ops" (string_of_int t.ops));
+  result
 
 (* ---- joins ---- *)
 
@@ -389,7 +585,7 @@ let positions columns names =
    input row on either side plus one per output row — exactly the charges
    of the always-build-on-[b] implementation, so engine-failure behaviour
    is preserved. *)
-let hash_join t a b =
+let hash_join ?stats t a b =
   let shared = List.filter (fun v -> List.mem v b.columns) a.columns in
   let b_only = List.filter (fun v -> not (List.mem v shared)) b.columns in
   let key_a = Array.of_list (positions a.columns shared)
@@ -426,7 +622,20 @@ let hash_join t a b =
     for j = 0 to nkeys - 1 do
       kbuf.(j) <- build_data.(off + Array.unsafe_get build_key j)
     done;
-    let e = Rowtable.find_or_add tbl kbuf 0 in
+    let e =
+      match stats with
+      | None -> Rowtable.find_or_add tbl kbuf 0
+      | Some node ->
+          let before = Rowtable.length tbl in
+          let e = Rowtable.find_or_add tbl kbuf 0 in
+          if Rowtable.length tbl > before then
+            node.Obs.Op_stats.hash_inserts <-
+              node.Obs.Op_stats.hash_inserts + 1
+          else
+            node.Obs.Op_stats.hash_collisions <-
+              node.Obs.Op_stats.hash_collisions + 1;
+          e
+    in
     next.(i) <- Rowtable.value tbl e;
     Rowtable.set_value tbl e i
   done;
@@ -452,9 +661,18 @@ let hash_join t a b =
       end)
     probe_rel;
   check_materialization t out;
+  (match stats with
+  | None -> ()
+  | Some node ->
+      let na = Relation.rows a.rel and nb = Relation.rows b.rel in
+      node.Obs.Op_stats.rows_in <- na + nb;
+      node.Obs.Op_stats.index_probes <-
+        Relation.rows probe_rel + node.Obs.Op_stats.index_probes;
+      node.Obs.Op_stats.rows_out <- Relation.rows out;
+      node.Obs.Op_stats.work_units <- na + nb + Relation.rows out);
   { columns = a.columns @ b_only; rel = out }
 
-let block_nested_loop_join t a b =
+let block_nested_loop_join ?stats t a b =
   let shared = List.filter (fun v -> List.mem v b.columns) a.columns in
   let b_only = List.filter (fun v -> not (List.mem v shared)) b.columns in
   let key_a = Array.of_list (positions a.columns shared)
@@ -491,17 +709,70 @@ let block_nested_loop_join t a b =
       done)
     a.rel;
   check_materialization t out;
+  (match stats with
+  | None -> ()
+  | Some node ->
+      let na = Relation.rows a.rel in
+      node.Obs.Op_stats.rows_in <- na + nb;
+      node.Obs.Op_stats.rows_out <- Relation.rows out;
+      node.Obs.Op_stats.work_units <- na * nb);
   { columns = a.columns @ b_only; rel = out }
 
-let join t a b =
+let join ?stats t a b =
   match t.profile.Profile.fragment_join with
-  | Profile.Hash_join -> hash_join t a b
-  | Profile.Block_nested_loop -> block_nested_loop_join t a b
+  | Profile.Hash_join -> hash_join ?stats t a b
+  | Profile.Block_nested_loop -> block_nested_loop_join ?stats t a b
 
 (* ---- JUCQ execution ---- *)
 
+(* A fragment (or partial join result) threaded through the greedy join
+   order, carrying what tracing needs: the cover-query atoms it answers
+   (for join-output cardinality estimates) and its op-stats subtree. *)
+type jinput = {
+  jnr : named_rel;
+  jatoms : Bgp.atom list;  (* [] when tracing is off *)
+  jtree : Obs.Op_stats.t option;
+}
+
+(* §4.1-style estimate for an intermediate join result: the cardinality of
+   the CQ whose body is the union of the joined fragments' cover-query
+   atoms, projected on the result columns. *)
+let join_estimate t columns atoms =
+  match atoms with
+  | [] -> -1.0
+  | _ ->
+      let avars =
+        List.concat_map (fun a -> Bgp.atom_vars a) atoms
+        |> List.sort_uniq String.compare
+      in
+      let head =
+        List.filter_map
+          (fun v -> if List.mem v avars then Some (Bgp.Var v) else None)
+          columns
+      in
+      (match head with
+      | [] -> 1.0
+      | _ -> Store.Statistics.cq_cardinality t.stats (Bgp.make head atoms))
+
+(* Mirrors {!Core.Cost_model.final_result_estimate}: the JUCQ result equals
+   the original query's answer, estimated from the union of all fragment
+   bodies. *)
+let jucq_final_estimate t (j : Jucq.t) =
+  let atoms =
+    List.concat_map (fun ((cq : Bgp.t), _) -> cq.Bgp.body) j.Jucq.fragments
+    |> List.sort_uniq Bgp.atom_compare
+  in
+  let head_vars =
+    List.filter_map
+      (function Bgp.Var v -> Some (Bgp.Var v) | Bgp.Const _ -> None)
+      j.Jucq.head
+  in
+  match head_vars with
+  | [] -> 1.0
+  | _ -> Store.Statistics.cq_cardinality t.stats (Bgp.make head_vars atoms)
+
 let eval_jucq t (j : Jucq.t) =
-  t.ops <- 0;
+  begin_statement t;
   (* Static plan verification (test/debug builds and RDFQA_VERIFY=1): a
      schema or arity violation in a compiled plan must reject the
      statement, not silently produce wrong answers. *)
@@ -517,10 +788,18 @@ let eval_jucq t (j : Jucq.t) =
           (Profile.Union_capacity
              { terms; limit = t.profile.Profile.max_union_terms }))
     j.Jucq.fragments;
+  Obs.Span.with_ "exec.jucq" @@ fun sp ->
+  let tr = Obs.enabled () in
   let fragments =
     List.map
       (fun ((cq : Bgp.t), u) ->
-        { columns = Bgp.head_vars cq; rel = eval_ucq_fragment t u })
+        let label = if tr then "fragment " ^ Bgp.to_string cq else "" in
+        let rel, tree = eval_ucq_fragment t ~label u in
+        {
+          jnr = { columns = Bgp.head_vars cq; rel };
+          jatoms = (if tr then cq.Bgp.body else []);
+          jtree = tree;
+        })
       j.Jucq.fragments
   in
   (* Greedy join order: start from the smallest fragment, then repeatedly
@@ -529,16 +808,61 @@ let eval_jucq t (j : Jucq.t) =
      Only when no remaining fragment connects (which a valid cover's join
      graph rules out except through intermediate disconnections) is a true
      product taken. *)
+  let join_step acc pick =
+    let stats =
+      if tr then begin
+        let kind =
+          match t.profile.Profile.fragment_join with
+          | Profile.Hash_join -> Obs.Op_stats.Hash_join
+          | Profile.Block_nested_loop -> Obs.Op_stats.Bnl_join
+        in
+        let shared =
+          List.filter (fun v -> List.mem v pick.jnr.columns) acc.jnr.columns
+        in
+        let node =
+          Obs.Op_stats.make
+            ~label:
+              (match shared with
+              | [] -> "cartesian product"
+              | _ -> "on " ^ String.concat ", " shared)
+            kind
+        in
+        (match acc.jtree with
+        | Some x -> Obs.Op_stats.add_child node x
+        | None -> ());
+        (match pick.jtree with
+        | Some x -> Obs.Op_stats.add_child node x
+        | None -> ());
+        Some node
+      end
+      else None
+    in
+    let nr = join ?stats t acc.jnr pick.jnr in
+    let atoms =
+      if tr then List.sort_uniq Bgp.atom_compare (acc.jatoms @ pick.jatoms)
+      else []
+    in
+    (match stats with
+    | None -> ()
+    | Some node ->
+        let est = join_estimate t nr.columns atoms in
+        node.Obs.Op_stats.est_rows <- est;
+        if est >= 0.0 then
+          Obs.record_estimate ~label:"join" ~est
+            ~actual:(float_of_int (Relation.rows nr.rel)));
+    { jnr = nr; jatoms = atoms; jtree = stats }
+  in
   let joined =
     match
       List.sort
-        (fun a b -> Int.compare (Relation.rows a.rel) (Relation.rows b.rel))
+        (fun a b ->
+          Int.compare (Relation.rows a.jnr.rel) (Relation.rows b.jnr.rel))
         fragments
     with
     | [] -> invalid_arg "Executor.eval_jucq: no fragments"
     | first :: rest ->
         let connected acc f =
-          List.exists (fun c -> List.mem c acc.columns) f.columns
+          List.exists (fun c -> List.mem c acc.jnr.columns) f.jnr.columns
         in
         let rec fold acc remaining =
           match remaining with
@@ -553,15 +877,17 @@ let eval_jucq t (j : Jucq.t) =
                 | c :: cs ->
                     List.fold_left
                       (fun best x ->
-                        if Relation.rows x.rel < Relation.rows best.rel then x
+                        if Relation.rows x.jnr.rel < Relation.rows best.jnr.rel
+                        then x
                         else best)
                       c cs
               in
               let remaining' = List.filter (fun f -> f != pick) remaining in
-              fold (join t acc pick) remaining'
+              fold (join_step acc pick) remaining'
         in
         fold first rest
   in
+  let joined, jtree = (joined.jnr, joined.jtree) in
   (* Project the original head, then deduplicate. *)
   let head_cols =
     List.map
@@ -600,6 +926,43 @@ let eval_jucq t (j : Jucq.t) =
     joined.rel;
   charge t njoined;
   check_materialization t out;
+  if tr then begin
+    let pt = function
+      | Bgp.Var v -> "?" ^ v
+      | Bgp.Const c -> Rdf.Term.to_string c
+    in
+    let proj_est =
+      match jtree with Some n -> n.Obs.Op_stats.est_rows | None -> -1.0
+    in
+    let proj =
+      Obs.Op_stats.make
+        ~label:(String.concat ", " (List.map pt j.Jucq.head))
+        ~est_rows:proj_est Obs.Op_stats.Project
+    in
+    proj.Obs.Op_stats.rows_in <- njoined;
+    proj.Obs.Op_stats.rows_out <- njoined;
+    proj.Obs.Op_stats.work_units <- njoined;
+    (match jtree with
+    | Some x -> Obs.Op_stats.add_child proj x
+    | None -> ());
+    let est_final = jucq_final_estimate t j in
+    let rows = Relation.rows out in
+    let root =
+      Obs.Op_stats.make ~label:"result" ~est_rows:est_final
+        Obs.Op_stats.Result
+    in
+    root.Obs.Op_stats.rows_in <- njoined;
+    root.Obs.Op_stats.rows_out <- rows;
+    root.Obs.Op_stats.work_units <- njoined;
+    Obs.Op_stats.add_child root proj;
+    Obs.record_estimate ~label:"result" ~est:est_final
+      ~actual:(float_of_int rows);
+    t.last_stats <- Some root;
+    Obs.Span.set sp "fragments"
+      (string_of_int (List.length j.Jucq.fragments));
+    Obs.Span.set sp "rows" (string_of_int rows);
+    Obs.Span.set sp "ops" (string_of_int t.ops)
+  end;
   out
 
 (* ---- decoding ---- *)

@@ -36,6 +36,18 @@ val statistics : t -> Store.Statistics.t
 val last_operations : t -> int
 (** Work units consumed by the most recent statement. *)
 
+val total_operations : t -> int
+(** Monotonic total of work units charged over the engine's lifetime,
+    including statements that died on a budget violation.  Never reset. *)
+
+val statements_run : t -> int
+(** Monotonic count of statements started (successful or failed). *)
+
+val last_op_stats : t -> Obs.Op_stats.t option
+(** The per-operator runtime metrics tree of the most recent statement —
+    populated only while {!Obs.enabled} tracing is on; [None] otherwise,
+    and [None] for a statement that failed before its tree was built. *)
+
 val eval_cq : t -> Query.Bgp.t -> Relation.t
 (** Evaluates one CQ (no reasoning): one row per answer, one column per
     head position, values as dictionary codes.  Set semantics. *)
@@ -55,14 +67,17 @@ type named_rel = { columns : string list; rel : Relation.t }
 (** A materialized relation with named columns — the unit the fragment
     joins operate on. *)
 
-val hash_join : t -> named_rel -> named_rel -> named_rel
+val hash_join : ?stats:Obs.Op_stats.t -> t -> named_rel -> named_rel -> named_rel
 (** Hash join of two fragments on their shared columns (bag semantics, one
     output row per matching pair; output columns are [a]'s followed by
     [b]'s non-shared ones).  Builds on the smaller input, probes the
     larger.  Exposed for differential testing against reference joins.
+    [?stats] receives the operator's runtime metrics (rows in/out, hash
+    inserts/collisions, probes); it never affects the work accounting.
     @raise Profile.Engine_failure on capacity/budget violations. *)
 
-val block_nested_loop_join : t -> named_rel -> named_rel -> named_rel
+val block_nested_loop_join :
+  ?stats:Obs.Op_stats.t -> t -> named_rel -> named_rel -> named_rel
 (** The MySQL-profile quadratic join; same semantics as {!hash_join}, same
     testing purpose. *)
 

@@ -1,0 +1,56 @@
+type t = {
+  samples : int;
+  median_q : float;
+  mean_q : float;
+  p90_q : float;
+  max_q : float;
+  worst : (string * float) list;
+}
+
+let of_estimates (es : Trace.estimate list) =
+  let qs =
+    List.map
+      (fun (e : Trace.estimate) ->
+        (e.Trace.label, Trace.q_error ~est:e.Trace.est ~actual:e.Trace.actual))
+      es
+  in
+  let n = List.length qs in
+  if n = 0 then
+    { samples = 0; median_q = 1.0; mean_q = 1.0; p90_q = 1.0; max_q = 1.0;
+      worst = [] }
+  else begin
+    let sorted = List.sort (fun (_, a) (_, b) -> Float.compare a b) qs in
+    let arr = Array.of_list (List.map snd sorted) in
+    let quantile p =
+      arr.(min (n - 1) (int_of_float (p *. float_of_int n)))
+    in
+    let rec take k = function
+      | x :: rest when k > 0 -> x :: take (k - 1) rest
+      | _ -> []
+    in
+    {
+      samples = n;
+      median_q = quantile 0.5;
+      mean_q = Array.fold_left ( +. ) 0.0 arr /. float_of_int n;
+      p90_q = quantile 0.9;
+      max_q = arr.(n - 1);
+      worst = take 5 (List.rev sorted);
+    }
+  end
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "Calibration report (estimated vs actual cardinality)\n";
+  Buffer.add_string buf (Printf.sprintf "  samples   %d\n" t.samples);
+  Buffer.add_string buf (Printf.sprintf "  median q  %.3f\n" t.median_q);
+  Buffer.add_string buf (Printf.sprintf "  mean q    %.3f\n" t.mean_q);
+  Buffer.add_string buf (Printf.sprintf "  p90 q     %.3f\n" t.p90_q);
+  Buffer.add_string buf (Printf.sprintf "  max q     %.3f\n" t.max_q);
+  if t.worst <> [] then begin
+    Buffer.add_string buf "  worst offenders:\n";
+    List.iter
+      (fun (label, q) ->
+        Buffer.add_string buf (Printf.sprintf "    %-40s q=%.2f\n" label q))
+      t.worst
+  end;
+  Buffer.contents buf

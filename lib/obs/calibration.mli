@@ -1,0 +1,23 @@
+(** Aggregate cost-model drift over a workload.
+
+    Each estimated-vs-actual observation ({!Trace.estimate}) contributes
+    one q-error sample; the report summarizes their distribution, making
+    "how far does the Section 4.1 model drift from the engine's observed
+    cardinalities" (the question behind Figure 9) a measurable, testable
+    quantity. *)
+
+type t = {
+  samples : int;  (** number of (est, actual) observations *)
+  median_q : float;  (** median q-error (1.0 = perfect) *)
+  mean_q : float;  (** arithmetic mean q-error *)
+  p90_q : float;  (** 90th-percentile q-error *)
+  max_q : float;  (** worst q-error *)
+  worst : (string * float) list;
+      (** up to five worst offenders, as (label, q-error), descending *)
+}
+
+val of_estimates : Trace.estimate list -> t
+(** Builds the report; with no samples all quantiles are 1.0. *)
+
+val to_string : t -> string
+(** Multi-line human-readable rendering. *)

@@ -1,0 +1,7 @@
+(* The library's single entry point: the tracing core plus its companion
+   modules under one [Obs] namespace. *)
+
+include Trace
+module Op_stats = Op_stats
+module Calibration = Calibration
+module Export = Export

@@ -1,0 +1,122 @@
+let tracing = ref false
+let enabled () = !tracing
+let set_enabled b = tracing := b
+
+type event = {
+  name : string;
+  start_us : float;
+  dur_us : float;
+  depth : int;
+  attrs : (string * string) list;
+}
+
+type estimate = { label : string; est : float; actual : float }
+
+let now_us () = Unix.gettimeofday () *. 1e6
+
+(* All sinks accumulate in reverse and are re-reversed on read: appends stay
+   O(1) however long a workload trace grows. *)
+let events_rev : event list ref = ref []
+let estimates_rev : estimate list ref = ref []
+let counter_tbl : (string, int ref) Hashtbl.t = Hashtbl.create 32
+
+type span = {
+  sname : string;
+  sstart : float;
+  sdepth : int;
+  mutable sattrs : (string * string) list;  (* reversed *)
+  mutable closed : bool;
+  live : bool;  (* false only for the disabled-path dummy *)
+}
+
+let stack : span list ref = ref []
+
+let dummy =
+  { sname = ""; sstart = 0.0; sdepth = 0; sattrs = []; closed = true;
+    live = false }
+
+module Span = struct
+  type t = span
+
+  let enter ?(attrs = []) name =
+    if not !tracing then dummy
+    else begin
+      let s =
+        {
+          sname = name;
+          sstart = now_us ();
+          sdepth = List.length !stack;
+          sattrs = List.rev attrs;
+          closed = false;
+          live = true;
+        }
+      in
+      stack := s :: !stack;
+      s
+    end
+
+  let set s k v = if s.live && not s.closed then s.sattrs <- (k, v) :: s.sattrs
+
+  let close_one s =
+    s.closed <- true;
+    events_rev :=
+      {
+        name = s.sname;
+        start_us = s.sstart;
+        dur_us = now_us () -. s.sstart;
+        depth = s.sdepth;
+        attrs = List.rev s.sattrs;
+      }
+      :: !events_rev
+
+  (* Closing a span closes every child still open above it: an exception
+     that unwound past nested [enter]s cannot leak open spans as long as
+     some enclosing span exits (and [with_] guarantees the outermost one
+     does). *)
+  let exit s =
+    if s.live && not s.closed then begin
+      let rec pop () =
+        match !stack with
+        | [] -> close_one s
+        | top :: rest ->
+            stack := rest;
+            close_one top;
+            if top != s then pop ()
+      in
+      pop ()
+    end
+
+  let with_ ?attrs name f =
+    if not !tracing then f dummy
+    else
+      let s = enter ?attrs name in
+      Fun.protect ~finally:(fun () -> exit s) (fun () -> f s)
+end
+
+let open_depth () = List.length !stack
+let events () = List.rev !events_rev
+
+let record_estimate ~label ~est ~actual =
+  if !tracing then estimates_rev := { label; est; actual } :: !estimates_rev
+
+let estimates () = List.rev !estimates_rev
+
+let q_error ~est ~actual =
+  let e = Float.max 1.0 est and a = Float.max 1.0 actual in
+  Float.max (e /. a) (a /. e)
+
+let count name n =
+  if !tracing then
+    match Hashtbl.find_opt counter_tbl name with
+    | Some r -> r := !r + n
+    | None -> Hashtbl.add counter_tbl name (ref n)
+
+let counters () =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) counter_tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let reset () =
+  events_rev := [];
+  estimates_rev := [];
+  Hashtbl.reset counter_tbl;
+  stack := []

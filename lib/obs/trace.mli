@@ -1,0 +1,90 @@
+(** The tracing core: a process-global event sink fed by spans, cardinality
+    estimates and named counters.
+
+    Everything here is {e off by default}: while {!enabled} is false, every
+    entry point reduces to a single boolean test and no allocation, so the
+    instrumented hot paths of the executor cost nothing measurable.  The
+    CLI (and tests) switch tracing on with {!set_enabled}, run a statement
+    or a workload, then drain the sink with {!events} / {!estimates} /
+    {!counters} and hand the result to {!Export} or {!Calibration}.
+
+    The sink is deliberately not thread-safe: the engine is single-threaded
+    and a trace belongs to one statement pipeline. *)
+
+val enabled : unit -> bool
+(** Whether tracing is on (default: off). *)
+
+val set_enabled : bool -> unit
+(** Switches tracing globally.  Turning it off does not clear the sink. *)
+
+val reset : unit -> unit
+(** Clears collected events, estimates and counters, and abandons any open
+    span (used between workload queries). *)
+
+type event = {
+  name : string;  (** span name, e.g. ["exec.jucq"] *)
+  start_us : float;  (** absolute start, µs since epoch *)
+  dur_us : float;  (** wall-clock duration, µs *)
+  depth : int;  (** nesting depth at the time the span opened *)
+  attrs : (string * string) list;  (** key→value attributes, in set order *)
+}
+(** A closed span.  Only closed spans appear in {!events}. *)
+
+module Span : sig
+  (** Nested wall-clock spans over {!Unix.gettimeofday}.
+
+      A span is opened with {!enter} (or scoped with {!with_}) and pushed
+      on a global stack; {!exit} pops it, closing any children an exception
+      unwound past, and appends the closed {!event} to the sink.  With
+      tracing disabled all operations are no-ops on a shared dummy. *)
+
+  type t
+
+  val enter : ?attrs:(string * string) list -> string -> t
+  (** Opens a span.  Returns a no-op dummy when tracing is off. *)
+
+  val set : t -> string -> string -> unit
+  (** Attaches (or appends) an attribute to an open span. *)
+
+  val exit : t -> unit
+  (** Closes the span, and first any still-open descendants — no span ever
+      leaks open because an exception skipped its exit. *)
+
+  val with_ : ?attrs:(string * string) list -> string -> (t -> 'a) -> 'a
+  (** [with_ name f] runs [f span] with the span open, closing it on normal
+      return {e and} on exception ([Fun.protect]).  When tracing is off,
+      [f] runs with the dummy and nothing is recorded. *)
+end
+
+val open_depth : unit -> int
+(** Number of currently open spans (0 once a pipeline finished cleanly —
+    including after an engine failure, which tests assert). *)
+
+val events : unit -> event list
+(** Closed spans in completion order. *)
+
+type estimate = {
+  label : string;  (** plan-node label, e.g. ["fragment"], ["result"] *)
+  est : float;  (** estimated cardinality (model or engine) *)
+  actual : float;  (** observed cardinality *)
+}
+(** One estimated-vs-actual cardinality observation at a plan node. *)
+
+val record_estimate : label:string -> est:float -> actual:float -> unit
+(** Appends an observation to the sink (no-op when tracing is off). *)
+
+val estimates : unit -> estimate list
+(** Observations in record order. *)
+
+val q_error : est:float -> actual:float -> float
+(** The symmetric quotient error
+    [max (max 1 est / max 1 actual) (max 1 actual / max 1 est)] — always
+    ≥ 1, with 1 meaning a perfect estimate.  Both sides are floored at one
+    row so empty results do not divide by zero. *)
+
+val count : string -> int -> unit
+(** [count name n] bumps a named counter by [n] (no-op when tracing is
+    off).  Used for per-rule reformulation counts. *)
+
+val counters : unit -> (string * int) list
+(** All counters, sorted by name. *)

@@ -153,13 +153,22 @@ let atom_closure t (a0 : Bgp.atom) : Bgp.atom list =
                     (Rdf.Schema.properties_with_range schema klass)
                     []
                 in
+                (* Per-rule application counters (no-ops unless tracing is
+                   on; only cache misses reach this point). *)
+                Obs.count "reformulate.rule.subclass" (List.length sub);
+                Obs.count "reformulate.rule.domain" (List.length dom);
+                Obs.count "reformulate.rule.range" (List.length rng);
                 sub @ dom @ rng
             | Bgp.Var _ -> [])
         | Bgp.Const p ->
-            Rdf.Term.Set.fold
-              (fun p' acc -> Bgp.atom x.s (Bgp.Const p') x.o :: acc)
-              (Rdf.Schema.sub_properties schema p)
-              []
+            let subs =
+              Rdf.Term.Set.fold
+                (fun p' acc -> Bgp.atom x.s (Bgp.Const p') x.o :: acc)
+                (Rdf.Schema.sub_properties schema p)
+                []
+            in
+            Obs.count "reformulate.rule.subproperty" (List.length subs);
+            subs
         | Bgp.Var _ -> []
       in
       let rec fix seen frontier =
@@ -307,30 +316,40 @@ let count_product_bound t (q : Bgp.t) =
     1 q.body
 
 let reformulate t (q : Bgp.t) : Ucq.t =
+  Obs.Span.with_ "reformulate" @@ fun sp ->
   let q = Bgp.dedup_body (Bgp.normalize q) in
   List.iter Rules.applicable q.body;
   let key = Bgp.to_string (Bgp.canonical q) in
-  match Hashtbl.find_opt t.query_cache key with
-  | Some u -> u
-  | None when count_product_bound t q > t.max_terms ->
-      raise
-        (Too_large
-           { bound = count_product_bound t q; limit = t.max_terms })
-  | None ->
-      let prefix = safe_prefix q in
-      let instantiated = instantiation_closure t.schema q in
-      let cqs =
-        List.concat_map
-          (fun (cq : Bgp.t) ->
-            let closures =
-              Array.of_list (List.map (atom_closure t) cq.body)
-            in
-            assemble ~prefix cq closures)
-          instantiated
-      in
-      let u = Ucq.of_cqs cqs in
-      Hashtbl.add t.query_cache key u;
-      u
+  let u =
+    match Hashtbl.find_opt t.query_cache key with
+    | Some u ->
+        Obs.Span.set sp "cache" "hit";
+        u
+    | None when count_product_bound t q > t.max_terms ->
+        raise
+          (Too_large
+             { bound = count_product_bound t q; limit = t.max_terms })
+    | None ->
+        let prefix = safe_prefix q in
+        let instantiated = instantiation_closure t.schema q in
+        Obs.count "reformulate.rule.instantiate"
+          (List.length instantiated - 1);
+        let cqs =
+          List.concat_map
+            (fun (cq : Bgp.t) ->
+              let closures =
+                Array.of_list (List.map (atom_closure t) cq.body)
+              in
+              assemble ~prefix cq closures)
+            instantiated
+        in
+        let u = Ucq.of_cqs cqs in
+        Hashtbl.add t.query_cache key u;
+        Obs.Span.set sp "cache" "miss";
+        u
+  in
+  Obs.Span.set sp "terms" (string_of_int (Ucq.cardinal u));
+  u
 
 let count t q = Ucq.cardinal (reformulate t q)
 

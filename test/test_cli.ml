@@ -144,6 +144,89 @@ let test_turtle_workflow () =
   Alcotest.(check int) "query over ttl" 0 code;
   Alcotest.(check bool) "has rows" true (contains body "rows (GCov")
 
+(* ---- tracing ---- *)
+
+(* Same resolution dance as [exe]: the validator lives next to this test. *)
+let validator =
+  List.find Sys.file_exists
+    [ "./validate_trace.exe"; "_build/default/test/validate_trace.exe" ]
+
+let read_file path =
+  let ic = open_in path in
+  let body = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  body
+
+let validate_trace path =
+  let out = Filename.temp_file "rqa_cli" ".out" in
+  let code =
+    Sys.command
+      (Printf.sprintf "%s %s > %s 2>&1" validator (Filename.quote path)
+         (Filename.quote out))
+  in
+  let body = read_file out in
+  Sys.remove out;
+  (code, body)
+
+let test_query_trace () =
+  let data = Lazy.force data_file in
+  let code, body =
+    run_capture
+      (Printf.sprintf
+         "query -d %s --workload-query lubm:Q01 -s gcov --trace" data)
+  in
+  Alcotest.(check int) "exit code" 0 code;
+  Alcotest.(check bool) "explain analyze tree" true
+    (contains body "EXPLAIN ANALYZE");
+  Alcotest.(check bool) "estimated and actual cardinalities" true
+    (contains body "est=" && contains body "actual=");
+  Alcotest.(check bool) "span summary" true (contains body "exec.");
+  Alcotest.(check bool) "engine counters" true (contains body "-- engine:")
+
+let test_trace_subcommand () =
+  let data = Lazy.force data_file in
+  let jsonl = Filename.temp_file "rqa_cli" ".jsonl" in
+  let chrome = Filename.temp_file "rqa_cli" ".trace" in
+  let code, body =
+    run_capture
+      (Printf.sprintf
+         "trace -d %s --workload-query lubm:Q01 -s gcov -o %s --chrome %s"
+         data jsonl chrome)
+  in
+  Alcotest.(check int) "exit code" 0 code;
+  Alcotest.(check bool) "row summary" true (contains body "rows");
+  let vcode, vbody = validate_trace jsonl in
+  Alcotest.(check int) "jsonl validates" 0 vcode;
+  Alcotest.(check bool) "validator summary" true (contains vbody "OK:");
+  Alcotest.(check bool) "trace has op lines" true (contains vbody "op=");
+  Alcotest.(check bool) "trace has span lines" true (contains vbody "span=");
+  let cbody = read_file chrome in
+  Alcotest.(check bool) "chrome trace events" true
+    (contains cbody "\"traceEvents\"" && contains cbody "\"ph\":\"X\"");
+  Sys.remove jsonl;
+  Sys.remove chrome
+
+let test_trace_workload_calibration () =
+  let data = Lazy.force data_file in
+  let code, body =
+    run_capture (Printf.sprintf "trace -d %s -w lubm -s gcov" data)
+  in
+  Alcotest.(check int) "exit code" 0 code;
+  Alcotest.(check bool) "per-query rows" true (contains body "Q01");
+  Alcotest.(check bool) "calibration report" true
+    (contains body "Calibration report" && contains body "median q")
+
+let test_check_trace_out () =
+  let path = Filename.temp_file "rqa_cli" ".jsonl" in
+  let code, _ =
+    run_capture (Printf.sprintf "check -w lubm --trace-out %s" path)
+  in
+  Alcotest.(check int) "exit code" 0 code;
+  let vcode, vbody = validate_trace path in
+  Sys.remove path;
+  Alcotest.(check int) "check trace validates" 0 vcode;
+  Alcotest.(check bool) "check span recorded" true (contains vbody "span=")
+
 let test_bad_arguments () =
   let code, _ = run_capture "query --workload-query lubm:Q01" in
   Alcotest.(check bool) "missing --data rejected" true (code <> 0);
@@ -167,6 +250,11 @@ let () =
           Alcotest.test_case "explain --plan" `Quick test_explain_plan;
           Alcotest.test_case "sql" `Quick test_sql;
           Alcotest.test_case "turtle workflow" `Quick test_turtle_workflow;
+          Alcotest.test_case "query --trace" `Quick test_query_trace;
+          Alcotest.test_case "trace subcommand" `Quick test_trace_subcommand;
+          Alcotest.test_case "trace workload calibration" `Quick
+            test_trace_workload_calibration;
+          Alcotest.test_case "check --trace-out" `Quick test_check_trace_out;
           Alcotest.test_case "bad arguments" `Quick test_bad_arguments;
         ] );
     ]

@@ -1,0 +1,279 @@
+(* Tests for the observability layer (lib/obs) and its wiring through the
+   engine: span lifecycle (including exception unwinding and engine
+   failures), per-operator runtime metrics, the charge-accounting
+   invariance of instrumentation, Q-error arithmetic and the calibration
+   report. *)
+
+open Query
+
+let u s = Rdf.Term.uri s
+let tr s p o = Rdf.Triple.make s p o
+let typ = Rdf.Vocab.rdf_type
+let v x = Bgp.Var x
+let c t = Bgp.Const t
+
+let schema =
+  Rdf.Schema.of_constraints
+    [
+      Rdf.Schema.Subclass (u "A", u "B");
+      Rdf.Schema.Subproperty (u "p", u "q");
+      Rdf.Schema.Domain (u "p", u "A");
+    ]
+
+let graph =
+  Rdf.Graph.make schema
+    [
+      tr (u "x1") typ (u "A");
+      tr (u "x1") (u "p") (u "y1");
+      tr (u "x2") (u "p") (u "y2");
+      tr (u "x2") (u "q") (u "y1");
+      tr (u "y1") (u "r") (u "x2");
+      tr (u "x3") typ (u "B");
+    ]
+
+let store () = Store.Encoded_store.of_graph graph
+let reformulator = Reformulation.Reformulate.create schema
+let reformulate q = Reformulation.Reformulate.reformulate reformulator q
+
+let join_query =
+  Bgp.make [ v "x"; v "z" ]
+    [
+      Bgp.atom (v "x") (c (u "q")) (v "y");
+      Bgp.atom (v "y") (c (u "r")) (v "z");
+    ]
+
+(* Every test leaves tracing globally off, whatever happens inside. *)
+let traced f =
+  Obs.reset ();
+  Obs.set_enabled true;
+  Fun.protect ~finally:(fun () -> Obs.set_enabled false) f
+
+(* ---- spans ---- *)
+
+let test_span_nesting () =
+  traced (fun () ->
+      Obs.Span.with_ "outer" (fun sp ->
+          Obs.Span.set sp "k" "v";
+          Obs.Span.with_ "inner" (fun _ -> ())));
+  let evs = Obs.events () in
+  Alcotest.(check int) "two events" 2 (List.length evs);
+  let inner = List.nth evs 0 and outer = List.nth evs 1 in
+  Alcotest.(check string) "inner first (closed first)" "inner"
+    inner.Obs.name;
+  Alcotest.(check int) "inner depth" 1 inner.Obs.depth;
+  Alcotest.(check string) "outer second" "outer" outer.Obs.name;
+  Alcotest.(check int) "outer depth" 0 outer.Obs.depth;
+  Alcotest.(check (list (pair string string))) "outer attrs" [ ("k", "v") ]
+    outer.Obs.attrs;
+  Alcotest.(check int) "no open span" 0 (Obs.open_depth ())
+
+let test_span_disabled_is_inert () =
+  Obs.reset ();
+  Obs.Span.with_ "ghost" (fun sp -> Obs.Span.set sp "k" "v");
+  Alcotest.(check int) "no events recorded" 0 (List.length (Obs.events ()));
+  Obs.record_estimate ~label:"x" ~est:1.0 ~actual:2.0;
+  Alcotest.(check int) "no estimates recorded" 0
+    (List.length (Obs.estimates ()));
+  Obs.count "x" 3;
+  Alcotest.(check int) "no counters recorded" 0
+    (List.length (Obs.counters ()))
+
+let test_span_exception_closes_children () =
+  traced (fun () ->
+      try
+        Obs.Span.with_ "outer" (fun _ ->
+            let _inner = Obs.Span.enter "inner" in
+            failwith "boom")
+      with Failure _ -> ());
+  Alcotest.(check int) "no open span after exception" 0 (Obs.open_depth ());
+  Alcotest.(check int) "both spans recorded" 2 (List.length (Obs.events ()));
+  List.iter
+    (fun (e : Obs.event) ->
+      Alcotest.(check bool)
+        (e.Obs.name ^ " non-negative duration")
+        true (e.Obs.dur_us >= 0.0))
+    (Obs.events ())
+
+(* ---- Q-error and calibration ---- *)
+
+let feq = Alcotest.float 1e-9
+
+let test_q_error () =
+  Alcotest.check feq "overestimate" 2.0 (Obs.q_error ~est:10.0 ~actual:5.0);
+  Alcotest.check feq "underestimate" 2.0 (Obs.q_error ~est:5.0 ~actual:10.0);
+  Alcotest.check feq "exact" 1.0 (Obs.q_error ~est:7.0 ~actual:7.0);
+  Alcotest.check feq "both zero floored" 1.0 (Obs.q_error ~est:0.0 ~actual:0.0);
+  Alcotest.check feq "zero estimate floored" 10.0
+    (Obs.q_error ~est:0.0 ~actual:10.0)
+
+let test_calibration_report () =
+  let r = Obs.Calibration.of_estimates [] in
+  Alcotest.(check int) "empty samples" 0 r.Obs.Calibration.samples;
+  Alcotest.check feq "empty median" 1.0 r.Obs.Calibration.median_q;
+  let estimates =
+    [
+      { Obs.label = "a"; est = 10.0; actual = 10.0 };  (* q = 1 *)
+      { Obs.label = "b"; est = 20.0; actual = 10.0 };  (* q = 2 *)
+      { Obs.label = "c"; est = 10.0; actual = 40.0 };  (* q = 4 *)
+    ]
+  in
+  let r = Obs.Calibration.of_estimates estimates in
+  Alcotest.(check int) "samples" 3 r.Obs.Calibration.samples;
+  Alcotest.check feq "median" 2.0 r.Obs.Calibration.median_q;
+  Alcotest.check feq "max" 4.0 r.Obs.Calibration.max_q;
+  Alcotest.(check bool) "worst offender is c" true
+    (match r.Obs.Calibration.worst with
+    | (label, q) :: _ -> label = "c" && q = 4.0
+    | [] -> false)
+
+(* ---- per-operator metrics ---- *)
+
+let test_op_stats_tree () =
+  let ex = Engine.Executor.create (store ()) in
+  let j = Jucq.make ~reformulate join_query (Jucq.scq_cover join_query) in
+  Alcotest.(check bool) "no stats when disabled" true
+    (ignore (Engine.Executor.eval_jucq ex j);
+     Engine.Executor.last_op_stats ex = None);
+  traced (fun () -> ignore (Engine.Executor.eval_jucq ex j));
+  match Engine.Executor.last_op_stats ex with
+  | None -> Alcotest.fail "no op tree recorded under tracing"
+  | Some root ->
+      Alcotest.(check string) "root kind" "result"
+        (Obs.Op_stats.kind_name root.Obs.Op_stats.kind);
+      Alcotest.(check bool) "root has an estimate" true
+        (Obs.Op_stats.q_error root <> None);
+      (* every node carries sane counters, and the tree reaches the leaf
+         index scans of both fragments *)
+      let kinds = ref [] in
+      Obs.Op_stats.fold
+        (fun () ~path:_ n ->
+          kinds := Obs.Op_stats.kind_name n.Obs.Op_stats.kind :: !kinds;
+          Alcotest.(check bool) "rows_out >= 0" true (n.Obs.Op_stats.rows_out >= 0))
+        () root;
+      List.iter
+        (fun k ->
+          Alcotest.(check bool) ("tree contains " ^ k) true
+            (List.mem k !kinds))
+        [ "result"; "project"; "hash_join"; "dedup"; "union"; "cq";
+          "index_scan" ];
+      let contains hay needle =
+        let n = String.length needle and h = String.length hay in
+        let rec go i =
+          i + n <= h && (String.sub hay i n = needle || go (i + 1))
+        in
+        n = 0 || go 0
+      in
+      let rendered = Obs.Op_stats.to_string root in
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool) ("rendering mentions " ^ needle) true
+            (contains rendered needle))
+        [ "est="; "actual=" ]
+
+(* ---- engine failures leave a well-formed partial trace ---- *)
+
+let test_failure_partial_trace () =
+  List.iter
+    (fun (p : Engine.Profile.t) ->
+      let profile = { p with Engine.Profile.max_operations = 0 } in
+      let ex = Engine.Executor.create ~profile (store ()) in
+      let j = Jucq.make ~reformulate join_query (Jucq.scq_cover join_query) in
+      let failed = ref false in
+      traced (fun () ->
+          try ignore (Engine.Executor.eval_jucq ex j)
+          with Engine.Profile.Engine_failure _ -> failed := true);
+      Alcotest.(check bool) (p.Engine.Profile.name ^ " fails") true !failed;
+      Alcotest.(check int)
+        (p.Engine.Profile.name ^ " no leaked open span")
+        0 (Obs.open_depth ());
+      let evs = Obs.events () in
+      Alcotest.(check bool)
+        (p.Engine.Profile.name ^ " recorded the exec span")
+        true
+        (List.exists (fun (e : Obs.event) -> e.Obs.name = "exec.jucq") evs);
+      List.iter
+        (fun (e : Obs.event) ->
+          Alcotest.(check bool)
+            (p.Engine.Profile.name ^ " span closed with sane duration")
+            true
+            (e.Obs.dur_us >= 0.0))
+        evs)
+    Engine.Profile.all
+
+(* ---- instrumentation never changes the charge accounting ---- *)
+
+let test_charge_invariance () =
+  let ex = Engine.Executor.create (store ()) in
+  let ucq = reformulate join_query in
+  let j = Jucq.make ~reformulate join_query (Jucq.scq_cover join_query) in
+  ignore (Engine.Executor.eval_ucq ex ucq);  (* warm the plan caches *)
+  ignore (Engine.Executor.eval_ucq ex ucq);
+  let ucq_ops = Engine.Executor.last_operations ex in
+  ignore (Engine.Executor.eval_jucq ex j);
+  let jucq_ops = Engine.Executor.last_operations ex in
+  let statements0 = Engine.Executor.statements_run ex in
+  let total0 = Engine.Executor.total_operations ex in
+  (* 50 untraced runs: charge totals are deterministic, run over run *)
+  for i = 1 to 50 do
+    ignore (Engine.Executor.eval_ucq ex ucq);
+    Alcotest.(check int)
+      (Printf.sprintf "untraced ucq run %d ops" i)
+      ucq_ops
+      (Engine.Executor.last_operations ex)
+  done;
+  (* traced runs charge bit-identically: tracing observes, never charges *)
+  traced (fun () ->
+      ignore (Engine.Executor.eval_ucq ex ucq);
+      Alcotest.(check int) "traced ucq ops identical" ucq_ops
+        (Engine.Executor.last_operations ex);
+      ignore (Engine.Executor.eval_jucq ex j);
+      Alcotest.(check int) "traced jucq ops identical" jucq_ops
+        (Engine.Executor.last_operations ex));
+  Alcotest.(check int) "statements counted" (statements0 + 52)
+    (Engine.Executor.statements_run ex);
+  Alcotest.(check int) "monotonic total is the exact sum"
+    (total0 + (51 * ucq_ops) + jucq_ops)
+    (Engine.Executor.total_operations ex)
+
+(* ---- the answering report's per-fragment sizes ---- *)
+
+let test_report_fragment_terms () =
+  let sys = Rqa.Answering.of_graph graph in
+  let report = Rqa.Answering.answer sys Rqa.Answering.Scq join_query in
+  Alcotest.(check int) "one entry per fragment" 2
+    (List.length report.Rqa.Answering.fragment_terms);
+  Alcotest.(check int) "fragment sizes sum to the union total"
+    report.Rqa.Answering.union_terms
+    (List.fold_left ( + ) 0 report.Rqa.Answering.fragment_terms);
+  let sat = Rqa.Answering.answer sys Rqa.Answering.Saturation join_query in
+  Alcotest.(check (list int)) "saturation is a single CQ" [ 1 ]
+    sat.Rqa.Answering.fragment_terms
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "spans",
+        [
+          Alcotest.test_case "nesting and attrs" `Quick test_span_nesting;
+          Alcotest.test_case "disabled path is inert" `Quick
+            test_span_disabled_is_inert;
+          Alcotest.test_case "exception closes children" `Quick
+            test_span_exception_closes_children;
+        ] );
+      ( "estimates",
+        [
+          Alcotest.test_case "q-error" `Quick test_q_error;
+          Alcotest.test_case "calibration report" `Quick
+            test_calibration_report;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "op-stats tree" `Quick test_op_stats_tree;
+          Alcotest.test_case "failure leaves well-formed partial trace"
+            `Quick test_failure_partial_trace;
+          Alcotest.test_case "charge accounting invariance" `Quick
+            test_charge_invariance;
+          Alcotest.test_case "report fragment terms" `Quick
+            test_report_fragment_terms;
+        ] );
+    ]
