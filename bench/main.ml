@@ -6,9 +6,12 @@
      --experiment LIST            comma-separated ids among
                                   table1,table2,table3,table4,
                                   fig4,fig5,fig6,fig7,fig8,fig9,fig10,
-                                  ablations,minimization   (default: all)
+                                  ablations,minimization,workload
+                                  (default: all)
      --runs N                     timed repetitions per measurement (default 1,
                                   after one warm-up when N > 1)
+     --jobs N                     worker domains for parallel evaluation
+                                  (default: RDFQA_JOBS, else 1)
      --bechamel                   also run the Bechamel micro-benchmarks
 
    Shapes to compare against the paper (absolute numbers differ: the
@@ -38,13 +41,14 @@ type config = {
   lubm_large : int;
   dblp_pubs : int;
   runs : int;
+  jobs : int;
   experiments : string list;
   bechamel : bool;
 }
 
 let all_experiments =
   [ "table1"; "table2"; "table3"; "table4"; "fig4"; "fig5"; "fig6"; "fig7";
-    "fig8"; "fig9"; "fig10"; "ablations"; "minimization" ]
+    "fig8"; "fig9"; "fig10"; "ablations"; "minimization"; "workload" ]
 
 let parse_config () =
   let cfg =
@@ -55,6 +59,7 @@ let parse_config () =
         lubm_large = 40;
         dblp_pubs = 15_000;
         runs = 1;
+        jobs = Par.current_jobs ();
         experiments = all_experiments;
         bechamel = false;
       }
@@ -89,13 +94,16 @@ let parse_config () =
     | "--runs" :: n :: rest ->
         cfg := { !cfg with runs = int_of_string n };
         go rest
+    | "--jobs" :: n :: rest ->
+        cfg := { !cfg with jobs = int_of_string n };
+        go rest
     | "--bechamel" :: rest ->
         cfg := { !cfg with bechamel = true };
         go rest
     | "--help" :: _ ->
         print_endline
           "usage: bench/main.exe [--scale quick|default|full] [--experiment \
-           LIST] [--runs N] [--bechamel]";
+           LIST] [--runs N] [--jobs N] [--bechamel]";
         exit 0
     | other :: _ -> failwith ("unknown option: " ^ other)
   in
@@ -579,6 +587,84 @@ let minimization ctx =
       end)
     ds.queries
 
+(* ---------- Workload driver: parallel query answering ---------- *)
+
+(* Answers every LUBM-small query with a fresh system per query (the
+   shared reformulation cache is thread-safe; engine-internal parallelism
+   yields to the outer fan-out through the pool's reentrancy fallback),
+   once at jobs=1 and once at the configured width.  The two runs must
+   agree bit-for-bit: decoded answer rows in relation order, chosen
+   covers and engine operation totals are compared, not just counted. *)
+let workload_driver ctx =
+  let jobs = ctx.cfg.jobs in
+  header
+    (Printf.sprintf
+       "Workload driver: LUBM small, GCov/postgres-like, jobs=1 vs jobs=%d"
+       jobs);
+  let ds = Lazy.force ctx.lubm_s in
+  let answer_one (_, q) =
+    let sys =
+      Rqa.Answering.make ~profile:Engine.Profile.postgres_like
+        ~reformulator:ds.reformulator ds.store
+    in
+    match Rqa.Answering.answer sys Rqa.Answering.Gcov q with
+    | report ->
+        let ex = Rqa.Answering.engine sys in
+        let rows =
+          List.map
+            (List.map Rdf.Term.to_string)
+            (Engine.Executor.decode ex report.Rqa.Answering.answers)
+        in
+        Ok
+          ( rows,
+            report.Rqa.Answering.cover,
+            Engine.Executor.total_operations ex )
+    | exception Engine.Profile.Engine_failure { reason; _ } ->
+        Error (Engine.Profile.failure_to_string reason)
+  in
+  let queries = Array.of_list ds.queries in
+  let run_all () = Par.parallel_map (Par.get ()) answer_one queries in
+  Par.set_jobs 1;
+  ignore (run_all ());  (* warm the shared reformulation cache *)
+  let t0 = now_ms () in
+  let seq = run_all () in
+  let seq_ms = now_ms () -. t0 in
+  Par.set_jobs jobs;
+  let t0 = now_ms () in
+  let par = run_all () in
+  let par_ms = now_ms () -. t0 in
+  Par.set_jobs jobs;
+  Array.iteri
+    (fun i (name, _) ->
+      match seq.(i) with
+      | Ok (rows, cover, ops) ->
+          Printf.printf "%-5s %6d rows %10d ops   cover %s\n" name
+            (List.length rows) ops
+            (match cover with
+            | Some c -> Jucq.cover_to_string c
+            | None -> "-")
+      | Error reason -> Printf.printf "%-5s FAIL: %s\n" name reason)
+    queries;
+  let identical = seq = par in
+  let cpus = Par.recommended_jobs () in
+  Printf.printf
+    "-- %d queries: sequential %.1f ms, jobs=%d %.1f ms, speedup %.2fx, \
+     results %s (%d cores available)\n%!"
+    (Array.length queries) seq_ms jobs par_ms
+    (seq_ms /. Float.max par_ms 1e-9)
+    (if identical then "IDENTICAL" else "DIVERGED")
+    cpus;
+  if jobs > cpus then
+    Printf.printf
+      "-- note: jobs=%d oversubscribes %d core(s); domains time-slice and \
+       no wall-clock speedup is expected here, only the determinism check \
+       is meaningful\n%!"
+      jobs cpus;
+  if not identical then begin
+    prerr_endline "workload driver: parallel run diverged from sequential";
+    exit 1
+  end
+
 (* ---------- Bechamel micro-benchmarks ---------- *)
 
 let read_file path =
@@ -587,20 +673,29 @@ let read_file path =
   close_in ic;
   s
 
-(* Machine-readable mirror of the bechamel run: name -> ns/run.  When a
-   [BENCH_engine_baseline.json] sits next to the executable's cwd, its raw
-   contents ride along under a ["baseline"] key so before/after pairs live
-   in one file. *)
-let write_bench_json ~scale results =
+(* Machine-readable mirror of the bechamel run: per benchmark, the ns/run
+   at the configured jobs count ([ns]), at jobs=1 ([ns_seq]), and the
+   resulting [speedup_vs_seq] (1.0 when jobs=1: the sequential run is not
+   repeated).  When a [BENCH_engine_baseline.json] sits next to the
+   executable's cwd, its raw contents ride along under a ["baseline"] key
+   so before/after pairs live in one file. *)
+let write_bench_json ~scale ~jobs results =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n  \"unit\": \"ns/run\",\n";
   Buffer.add_string buf (Printf.sprintf "  \"scale\": %S,\n" scale);
+  Buffer.add_string buf (Printf.sprintf "  \"jobs\": %d,\n" jobs);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"cpus\": %d,\n" (Par.recommended_jobs ()));
   Buffer.add_string buf "  \"results\": {\n";
   let n = List.length results in
   List.iteri
-    (fun i (name, est) ->
+    (fun i (name, ns, ns_seq) ->
       Buffer.add_string buf
-        (Printf.sprintf "    %S: %.1f%s\n" name est
+        (Printf.sprintf
+           "    %S: {\"ns\": %.1f, \"ns_seq\": %.1f, \"jobs\": %d, \
+            \"speedup_vs_seq\": %.3f}%s\n"
+           name ns ns_seq jobs
+           (ns_seq /. Float.max ns 1e-9)
            (if i = n - 1 then "" else ",")))
     results;
   Buffer.add_string buf "  }";
@@ -681,7 +776,16 @@ let bechamel_suite ctx =
         (Staged.stage (fun () -> Engine.Executor.eval_cq sat_ex q1));
     ]
   in
-  let benchmark test =
+  (* Exercise the jobs-sensitive evaluation paths once at the width about
+     to be measured, so neither run pays cold plan/statistics caches. *)
+  let warm () =
+    ignore (Engine.Executor.eval_jucq ex j_best);
+    ignore (Engine.Executor.eval_jucq ex j_ucq);
+    ignore (Engine.Executor.eval_cq sat_ex q1)
+  in
+  let benchmark ~at_jobs test =
+    Par.set_jobs at_jobs;
+    warm ();
     let instance = Toolkit.Instance.monotonic_clock in
     let cfg =
       Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:(Some 100) ()
@@ -698,7 +802,8 @@ let bechamel_suite ctx =
       (fun name result ->
         match Analyze.OLS.estimates result with
         | Some [ est ] ->
-            Printf.printf "%-36s %14.1f ns/run\n%!" name est;
+            Printf.printf "%-36s %14.1f ns/run  (jobs=%d)\n%!" name est
+              at_jobs;
             (* drop the grouping prefix ("g/") for the JSON keys *)
             let key =
               match String.index_opt name '/' with
@@ -710,13 +815,30 @@ let bechamel_suite ctx =
       results;
     !acc
   in
-  let results = List.concat_map benchmark tests in
-  write_bench_json ~scale:ctx.cfg.scale results
+  let jobs = ctx.cfg.jobs in
+  (* Each benchmark runs at jobs=1 first, then (when parallelism is on) at
+     the configured width, pairing the two estimates per name. *)
+  let results =
+    List.concat_map
+      (fun test ->
+        let seq = benchmark ~at_jobs:1 test in
+        let par = if jobs > 1 then benchmark ~at_jobs:jobs test else seq in
+        List.filter_map
+          (fun (key, ns_seq) ->
+            Option.map
+              (fun ns -> (key, ns, ns_seq))
+              (List.assoc_opt key par))
+          seq)
+      tests
+  in
+  Par.set_jobs jobs;
+  write_bench_json ~scale:ctx.cfg.scale ~jobs results
 
 (* ---------- main ---------- *)
 
 let () =
   let cfg = parse_config () in
+  Par.set_jobs cfg.jobs;
   let ctx = build_ctx cfg in
   let run id f = if List.mem id cfg.experiments then f ctx in
   let t0 = now_ms () in
@@ -733,5 +855,6 @@ let () =
   run "fig10" fig10;
   run "ablations" ablations;
   run "minimization" minimization;
+  run "workload" workload_driver;
   if cfg.bechamel then bechamel_suite ctx;
   Printf.printf "\n[bench] done in %.1f s\n" ((now_ms () -. t0) /. 1000.0)

@@ -136,6 +136,18 @@ let trace_out_arg =
            default, Chrome trace_event format when FILE ends in .trace or \
            .chrome.json (loadable in chrome://tracing or Perfetto).")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for parallel UCQ/JUCQ evaluation and cover \
+           search (default: $(b,RDFQA_JOBS), else 1).  Answers, chosen \
+           covers and operation totals are identical at every N.")
+
+let apply_jobs jobs = Option.iter Par.set_jobs jobs
+
 let chrome_file f =
   Filename.check_suffix f ".trace" || Filename.check_suffix f ".chrome.json"
 
@@ -246,7 +258,9 @@ let query_cmd =
       value & opt int 20
       & info [ "limit" ] ~docv:"N" ~doc:"Print at most N answer rows.")
   in
-  let run data wq qs qf strategy profile show_cover limit trace trace_out =
+  let run data wq qs qf strategy profile show_cover limit trace trace_out
+      jobs =
+    apply_jobs jobs;
     match resolve_query wq qs qf with
     | Error msg -> prerr_endline msg; exit 2
     | Ok (q, schema) -> (
@@ -322,7 +336,7 @@ let query_cmd =
     Term.(
       const run $ data_arg $ workload_query_arg $ query_string_arg
       $ query_file_arg $ strategy_arg $ engine_arg $ show_cover $ limit
-      $ trace_flag_arg $ trace_out_arg)
+      $ trace_flag_arg $ trace_out_arg $ jobs_arg)
 
 (* ---------- reformulate ---------- *)
 
@@ -493,7 +507,8 @@ let trace_cmd =
             "Write the spans as a Chrome trace_event JSON file (open in \
              chrome://tracing or Perfetto).")
   in
-  let run data wl wq qs qf strategy profile out chrome =
+  let run data wl wq qs qf strategy profile out chrome jobs =
+    apply_jobs jobs;
     let strategy = to_strategy strategy in
     let queries, schema =
       match wl with
@@ -581,7 +596,7 @@ let trace_cmd =
           cardinalities, and the calibration report.")
     Term.(
       const run $ data_arg $ workload $ workload_query_arg $ query_string_arg
-      $ query_file_arg $ strategy_arg $ engine_arg $ out $ chrome)
+      $ query_file_arg $ strategy_arg $ engine_arg $ out $ chrome $ jobs_arg)
 
 (* ---------- check ---------- *)
 
@@ -635,7 +650,9 @@ let check_cmd =
     in
     Rdf.Graph.schema g
   in
-  let run query_file workload wq qs data strict machine codes trace trace_out =
+  let run query_file workload wq qs data strict machine codes trace trace_out
+      jobs =
+    apply_jobs jobs;
     if codes then
       List.iter
         (fun (code, doc) -> Printf.printf "%s  %s\n" code doc)
@@ -715,7 +732,7 @@ let check_cmd =
     Term.(
       const run $ query_file_pos $ workload $ workload_query_arg
       $ query_string_arg $ data $ strict $ machine $ codes $ trace_flag_arg
-      $ trace_out_arg)
+      $ trace_out_arg $ jobs_arg)
 
 let () =
   let info =

@@ -28,6 +28,25 @@ let search ?(budget = Cover_space.default_budget) (obj : Objective.t) =
     if not ok then timed_out := true;
     ok
   in
+  (* Parallel costing: prime the objective's caches chunk by chunk across
+     the pool, re-checking the deadline between chunks, then run the
+     unchanged sequential fold below on cache hits.  The fold's
+     first-minimum-wins tie-break sees the same costs in the same order,
+     so the chosen cover is bit-identical to sequential search; only under
+     a deadline can the two differ (timeouts are wall-clock-dependent in
+     the sequential path too). *)
+  let pool = Par.get () in
+  if Par.jobs pool > 1 then begin
+    let arr = Array.of_list covers in
+    let n = Array.length arr in
+    let chunk = max 1 (8 * Par.jobs pool) in
+    let i = ref 0 in
+    while !i < n && within_budget () do
+      let len = min chunk (n - !i) in
+      Objective.prime pool obj (Array.to_list (Array.sub arr !i len));
+      i := !i + len
+    done
+  end;
   let best =
     List.fold_left
       (fun best cover ->

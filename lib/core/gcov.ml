@@ -122,31 +122,52 @@ let search ?(max_moves = 10_000) ?(ordering = Cost_sorted)
     let serial = ref 0 in
     let queue = ref Queue_.empty in
     let best = ref (c0, Objective.cover_cost obj c0) in
-    let consider ~bound cover =
-      let key = cover_key cover in
-      if not (Hashtbl.mem analysed key) then begin
-        Hashtbl.add analysed key ();
-        (* Redundancy pruning can, in corner cases, leave a cover outside
-           the valid space (e.g. a fragment left without a join partner);
-           such moves are simply not taken. *)
-        match Objective.cover_cost obj cover with
-        | cost ->
-            if cost <= bound then begin
-              incr serial;
-              (* Fifo ablation: the serial number alone decides the pop
-                 order (all elements share a zero key). *)
-              let key =
-                match ordering with Cost_sorted -> cost | Fifo -> 0.0
-              in
-              queue := Queue_.add (key, !serial, cover) !queue
-            end
-        | exception Invalid_argument _ -> ()
-      end
+    let pool = Par.get () in
+    (* One pop's worth of neighbors, considered as a batch: dedup against
+       [analysed] sequentially in move order, batch-prime the fresh covers'
+       costs across the pool, then cost-and-push sequentially in the same
+       order.  [bound] is fixed for the whole batch and [best] never moves
+       between pushes (it only updates at pops), so the queue evolves
+       exactly as under the sequential per-neighbor loop — the search
+       trajectory, and hence the chosen cover, is bit-identical at every
+       jobs count. *)
+    let consider_batch ~bound covers =
+      let fresh =
+        List.filter
+          (fun cover ->
+            let key = cover_key cover in
+            if Hashtbl.mem analysed key then false
+            else begin
+              Hashtbl.add analysed key ();
+              true
+            end)
+          covers
+      in
+      (match fresh with
+      | [] | [ _ ] -> ()
+      | _ -> if Par.jobs pool > 1 then Objective.prime pool obj fresh);
+      List.iter
+        (fun cover ->
+          (* Redundancy pruning can, in corner cases, leave a cover outside
+             the valid space (e.g. a fragment left without a join partner);
+             such moves are simply not taken. *)
+          match Objective.cover_cost obj cover with
+          | cost ->
+              if cost <= bound then begin
+                incr serial;
+                (* Fifo ablation: the serial number alone decides the pop
+                   order (all elements share a zero key). *)
+                let key =
+                  match ordering with Cost_sorted -> cost | Fifo -> 0.0
+                in
+                queue := Queue_.add (key, !serial, cover) !queue
+              end
+          | exception Invalid_argument _ -> ())
+        fresh
     in
     (* Seed with the neighbors of C0 (Algorithm 1, lines 4-7). *)
-    List.iter
-      (fun (f, t) -> consider ~bound:(snd !best) (apply_move obj c0 f t))
-      (moves_from q c0);
+    consider_batch ~bound:(snd !best)
+      (List.map (fun (f, t) -> apply_move obj c0 f t) (moves_from q c0));
     let moves_applied = ref 0 in
     let initial_cost = snd !best in
     let keep_going () =
@@ -167,11 +188,10 @@ let search ?(max_moves = 10_000) ?(ordering = Cost_sorted)
       let cost = Objective.cover_cost obj cover in
       incr moves_applied;
       if cost <= snd !best then best := (cover, cost);
-      List.iter
-        (fun (f, t) ->
-          consider ~bound:(snd !best -. epsilon_float)
-            (apply_move obj cover f t))
-        (moves_from q cover)
+      consider_batch
+        ~bound:(snd !best -. epsilon_float)
+        (List.map (fun (f, t) -> apply_move obj cover f t)
+           (moves_from q cover))
     done;
     finish (fst !best) (snd !best) !moves_applied
   end

@@ -66,6 +66,65 @@ let cover_cost t cover =
       t.explored <- t.explored + 1;
       c
 
+(* Batch-primes the caches for a list of covers, computing the uncached
+   ones' reformulations and costs in parallel, then memoizing sequentially
+   in list order.  Equivalent to calling [cover_cost] on each cover in
+   order: costs are pure functions of (objective, cover), [explored] grows
+   by one per distinct uncached cover in the same order, and a cover whose
+   construction raises (beyond [Too_large], which prices as [infinity])
+   caches nothing — the exception resurfaces, identically, when
+   [cover_cost] is called for it. *)
+let prime pool t covers =
+  let seen = Hashtbl.create 16 in
+  let fresh =
+    List.filter
+      (fun cover ->
+        let key = cover_key cover in
+        if Hashtbl.mem t.cost_cache key || Hashtbl.mem seen key then false
+        else begin
+          Hashtbl.add seen key ();
+          true
+        end)
+      covers
+  in
+  match fresh with
+  | [] -> ()
+  | _ ->
+      let arr = Array.of_list fresh in
+      let compute cover =
+        match
+          let feasible =
+            List.for_all
+              (fun f -> t.fragment_capacity (Jucq.cover_query t.query cover f))
+              cover
+          in
+          if not feasible then (None, infinity)
+          else
+            match Jucq.make ~reformulate:t.reformulate t.query cover with
+            | j -> (Some j, t.jucq_cost j)
+            | exception Reformulation.Reformulate.Too_large _ ->
+                (None, infinity)
+        with
+        | v -> Ok v
+        | exception e -> Error e
+      in
+      let results = Par.parallel_map pool compute arr in
+      Array.iteri
+        (fun i r ->
+          match r with
+          | Error _ -> ()  (* left uncached; [cover_cost] re-raises *)
+          | Ok (j, c) ->
+              let key = cover_key arr.(i) in
+              if not (Hashtbl.mem t.cost_cache key) then begin
+                (match j with
+                | Some j when not (Hashtbl.mem t.jucq_cache key) ->
+                    Hashtbl.add t.jucq_cache key j
+                | _ -> ());
+                Hashtbl.add t.cost_cache key c;
+                t.explored <- t.explored + 1
+              end)
+        results
+
 let fragment_cost t (f : Jucq.fragment) =
   let key = String.concat "," (List.map string_of_int f) in
   match Hashtbl.find_opt t.fragment_cache key with

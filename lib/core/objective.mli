@@ -34,6 +34,16 @@ val cover_cost : t -> Query.Jucq.cover -> float
 (** Estimated cost of a cover's reformulation, memoized.  Each distinct
     cover costed increments {!explored}. *)
 
+val prime : Par.t -> t -> Query.Jucq.cover list -> unit
+(** [prime pool t covers] fills the JUCQ and cost caches for [covers],
+    fanning the uncached covers' reformulation + costing out over [pool]
+    and memoizing sequentially in list order — observationally equivalent
+    to calling {!cover_cost} on each cover in order (same cache contents,
+    same {!explored} growth), just concurrent.  ECov and GCov call this on
+    each enumeration chunk / neighbor batch before their unchanged
+    sequential selection logic, which is how parallel cover search keeps
+    choosing bit-identical covers. *)
+
 val fragment_cost : t -> Query.Jucq.fragment -> float
 (** Estimated cost of one fragment's UCQ reformulation (ordering heuristic
     for redundancy pruning), memoized. *)

@@ -57,6 +57,13 @@ type t = {
   plans : plan option Plan_tbl.t;
   ucq_plans : plan option array Ucq_tbl.t;  (* one entry per disjunct *)
   mutable plans_version : int;  (* store version the cached plans assume *)
+  plan_lock : Mutex.t;
+      (* Guards the two plan caches (and [plans_version]): concurrent
+         [answer] calls on one executor — e.g. a shared system behind a
+         server loop — race only on planning, never on evaluation state,
+         which is per-statement.  Compilation happens under the lock; plans
+         are pure reads of the store, so serializing them is safe and
+         cheap (one lock per statement, not per row). *)
 }
 
 let plan_cache_limit = 65_536
@@ -73,6 +80,7 @@ let create ?(profile = Profile.postgres_like) store =
     plans = Plan_tbl.create 256;
     ucq_plans = Ucq_tbl.create 64;
     plans_version = Es.version store;
+    plan_lock = Mutex.create ();
   }
 
 let store t = t.store
@@ -264,7 +272,14 @@ type cq_counters = {
   advanced : int array;  (* rows depth k passed down to depth k+1 *)
 }
 
-let exec_cq t ?counters (p : plan) ~(emit : int array -> unit) =
+(* [?charge] lets the parallel layer substitute a recording sink for the
+   engine's budget meter: a worker domain evaluates a disjunct against a
+   local charge log (below) instead of the shared executor counters.  The
+   default is the real [charge t] — the sequential path pays one indirect
+   call per charge and nothing else. *)
+let exec_cq t ?counters ?charge:charge_sink (p : plan)
+    ~(emit : int array -> unit) =
+  let ch = match charge_sink with Some f -> f | None -> charge t in
   let cq = p.pcq in
   let bindings = Array.make (max 1 cq.nvars) (-1) in
   let order = p.porder in
@@ -289,7 +304,7 @@ let exec_cq t ?counters (p : plan) ~(emit : int array -> unit) =
           | K c -> c
           | V v -> Array.unsafe_get bindings v)
       done;
-      charge t 1;
+      ch 1;
       emit head_buf
     end
     else begin
@@ -303,7 +318,7 @@ let exec_cq t ?counters (p : plan) ~(emit : int array -> unit) =
          same statements) and the iteration. *)
       let sel = Es.select t.store ~s ~p ~o in
       let n = Es.selected_count sel in
-      charge t (max 1 (n / 64) + n);
+      ch (max 1 (n / 64) + n);
       if tr then begin
         ctr.probes.(k) <- ctr.probes.(k) + 1;
         ctr.scanned.(k) <- ctr.scanned.(k) + n
@@ -365,7 +380,18 @@ let compile_plan t (q : Bgp.t) =
       let porder, pest = order_atoms t cq in
       Some { pcq = cq; porder; pest }
 
+let with_plan_lock t f =
+  Mutex.lock t.plan_lock;
+  match f () with
+  | v ->
+      Mutex.unlock t.plan_lock;
+      v
+  | exception e ->
+      Mutex.unlock t.plan_lock;
+      raise e
+
 let plan_of t (q : Bgp.t) =
+  with_plan_lock t @@ fun () ->
   flush_stale_plans t;
   match Plan_tbl.find_opt t.plans q with
   | Some p -> p
@@ -375,8 +401,12 @@ let plan_of t (q : Bgp.t) =
       p
 
 (* UCQ-level plan memoization: one cache probe per fragment evaluation
-   covers every disjunct, instead of one structural hash per disjunct. *)
+   covers every disjunct, instead of one structural hash per disjunct.
+   Always called on the coordinating domain, before any fan-out: workers
+   receive compiled plans and never touch the caches, the statistics or
+   the dictionary. *)
 let ucq_plans t (u : Ucq.t) =
+  with_plan_lock t @@ fun () ->
   flush_stale_plans t;
   match Ucq_tbl.find_opt t.ucq_plans u with
   | Some ps -> ps
@@ -475,6 +505,36 @@ let eval_cq t (q : Bgp.t) =
 
 (* ---- UCQ execution ---- *)
 
+(* Shared epilogue of the sequential and parallel fragment paths: charge
+   one unit per accumulated pre-dedup row, deduplicate, enforce the
+   materialization ceiling, and (when tracing) close the fragment's
+   op-stats subtree — a Dedup root over the Union node. *)
+let fragment_epilogue t ~label (u : Ucq.t) union_node out =
+  charge t (Relation.rows out);
+  let result = Relation.dedup out in
+  check_materialization t result;
+  match union_node with
+  | None -> (result, None)
+  | Some un ->
+      let est = Store.Statistics.ucq_cardinality t.stats u in
+      let pre = Relation.rows out in
+      let rows = Relation.rows result in
+      un.Obs.Op_stats.rows_out <- pre;
+      un.Obs.Op_stats.est_rows <- est;
+      let dd =
+        Obs.Op_stats.make
+          ~label:(if label = "" then "set semantics" else label)
+          ~est_rows:est Obs.Op_stats.Dedup
+      in
+      dd.Obs.Op_stats.rows_in <- pre;
+      dd.Obs.Op_stats.rows_out <- rows;
+      dd.Obs.Op_stats.work_units <- pre;
+      Obs.Op_stats.add_child dd un;
+      Obs.record_estimate
+        ~label:(if label = "" then "ucq" else label)
+        ~est ~actual:(float_of_int rows);
+      (result, Some dd)
+
 (* Evaluates one fragment UCQ; when tracing, also returns the fragment's
    op-stats subtree (Dedup over Union over per-disjunct CQ pipelines),
    labelled [label].  The charge sequence is byte-for-byte that of the
@@ -519,37 +579,182 @@ let eval_ucq_fragment t ?(label = "") (u : Ucq.t) =
                 ~actual:(float_of_int cqn.Obs.Op_stats.rows_out)));
       check_materialization t out)
     (ucq_plans t u);
-  charge t (Relation.rows out);
-  let result = Relation.dedup out in
-  check_materialization t result;
-  match union_node with
-  | None -> (result, None)
-  | Some un ->
-      let est = Store.Statistics.ucq_cardinality t.stats u in
-      let pre = Relation.rows out in
-      let rows = Relation.rows result in
-      un.Obs.Op_stats.rows_out <- pre;
-      un.Obs.Op_stats.est_rows <- est;
-      let dd =
-        Obs.Op_stats.make
-          ~label:(if label = "" then "set semantics" else label)
-          ~est_rows:est Obs.Op_stats.Dedup
-      in
-      dd.Obs.Op_stats.rows_in <- pre;
-      dd.Obs.Op_stats.rows_out <- rows;
-      dd.Obs.Op_stats.work_units <- pre;
-      Obs.Op_stats.add_child dd un;
-      Obs.record_estimate
-        ~label:(if label = "" then "ucq" else label)
-        ~est ~actual:(float_of_int rows);
-      (result, Some dd)
+  fragment_epilogue t ~label u union_node out
+
+(* ---- parallel UCQ/JUCQ evaluation (record-and-replay) ----
+
+   Determinism is a hard contract: with [--jobs N] the answers, the charge
+   totals and the failure points must be bit-identical to sequential
+   execution.  The scheme: worker domains evaluate disjuncts against a
+   {e charge log} — a run-length-encoded record of every [charge] call —
+   and a local relation; the coordinating domain then merges the results
+   in canonical (sequential) order, replaying each log through the real
+   [charge].  Budget failures therefore fire on the same charge call, with
+   the same [ops]/[total_ops], as they would sequentially.  A worker whose
+   local charge sum alone exceeds the budget stops early ([Charge_overrun]):
+   since the coordinator's cumulative count at that disjunct is at least
+   the worker's local count, the replay of the truncated log is guaranteed
+   to raise before running off its end, so truncation is unobservable. *)
+
+exception Charge_overrun
+
+type charge_log = {
+  cvals : Store.Intvec.t;  (* RLE: distinct consecutive charge amounts *)
+  ccounts : Store.Intvec.t;  (* RLE: repeat count per amount *)
+  mutable clast : int;
+  mutable cacc : int;  (* local sum, for the early-stop bound *)
+  climit : int;
+}
+
+let charge_log limit =
+  {
+    cvals = Store.Intvec.create ();
+    ccounts = Store.Intvec.create ();
+    clast = min_int;
+    cacc = 0;
+    climit = limit;
+  }
+
+let record log n =
+  if n = log.clast then begin
+    let i = Store.Intvec.length log.ccounts - 1 in
+    Store.Intvec.set log.ccounts i (Store.Intvec.get log.ccounts i + 1)
+  end
+  else begin
+    Store.Intvec.push log.cvals n;
+    Store.Intvec.push log.ccounts 1;
+    log.clast <- n
+  end;
+  log.cacc <- log.cacc + n;
+  if log.cacc > log.climit then raise Charge_overrun
+
+(* Replays every recorded charge call individually (not merged): [ops]
+   crosses the budget on exactly the call where sequential execution would
+   have raised, with the identical [total_ops] at that point. *)
+let replay t log =
+  for i = 0 to Store.Intvec.length log.cvals - 1 do
+    let v = Store.Intvec.get log.cvals i in
+    for _ = 1 to Store.Intvec.get log.ccounts i do
+      charge t v
+    done
+  done
+
+type disjunct_result = {
+  drel : Relation.t;  (* the disjunct's rows, in emission order *)
+  dlog : charge_log;
+  dctr : cq_counters option;  (* scan counters, when tracing *)
+}
+
+(* The worker-side task: pure with respect to the executor (only immutable
+   snapshot reads of the store; charges go to the local log, rows to a
+   local relation, scan counters to a local record).  Runs on any domain. *)
+let eval_disjunct t ~cols ~tracing (p : plan option) =
+  let rel = Relation.create ~cols in
+  let log = charge_log t.profile.Profile.max_operations in
+  let ctr =
+    match (tracing, p) with
+    | true, Some p ->
+        let natoms = max 1 (Array.length p.porder) in
+        Some
+          {
+            probes = Array.make natoms 0;
+            scanned = Array.make natoms 0;
+            advanced = Array.make natoms 0;
+          }
+    | _ -> None
+  in
+  (match p with
+  | None -> ()
+  | Some p -> (
+      try
+        exec_cq t ?counters:ctr ~charge:(record log) p ~emit:(fun row ->
+            Relation.append rel row)
+      with Charge_overrun -> ()));
+  { drel = rel; dlog = log; dctr = ctr }
+
+let append_rows out rel =
+  Relation.iteri_flat (fun _ data off -> Relation.append_slice out data off) rel
+
+(* Coordinator-side merge of pre-evaluated disjuncts, in canonical
+   (sequential) order.  Mirrors [eval_ucq_fragment] observable-for-
+   observable: replayed charges, per-disjunct materialization checks, the
+   op-stats tree and the estimate stream all happen in the same order with
+   the same values. *)
+let merge_fragment t ?(label = "") (u : Ucq.t) (plans : plan option array)
+    (results : disjunct_result array) =
+  let tr = Obs.enabled () in
+  let out = Relation.create ~cols:(Ucq.arity u) in
+  let union_node =
+    if tr then
+      Some
+        (Obs.Op_stats.make
+           ~label:(Printf.sprintf "%d disjuncts" (Ucq.cardinal u))
+           Obs.Op_stats.Union)
+    else None
+  in
+  let disjuncts = if tr then Array.of_list (Ucq.disjuncts u) else [||] in
+  Array.iteri
+    (fun i p ->
+      (match p with
+      | None -> ()
+      | Some plan -> (
+          let d = results.(i) in
+          match union_node with
+          | None ->
+              replay t d.dlog;
+              append_rows out d.drel
+          | Some un ->
+              let cq = disjuncts.(i) in
+              let est = Store.Statistics.cq_cardinality t.stats cq in
+              let cqn =
+                Obs.Op_stats.make ~label:(Bgp.to_string cq) ~est_rows:est
+                  Obs.Op_stats.Cq
+              in
+              Obs.Op_stats.add_child un cqn;
+              (* As in the sequential traced path, the scan chain is
+                 attached even when the replay dies on the budget — failed
+                 statements keep a partial EXPLAIN. *)
+              Fun.protect
+                ~finally:(fun () ->
+                  match d.dctr with
+                  | Some ctr -> attach_scan_chain plan ctr cqn
+                  | None -> ())
+                (fun () -> replay t d.dlog);
+              append_rows out d.drel;
+              cqn.Obs.Op_stats.rows_out <- Relation.rows d.drel;
+              Obs.record_estimate ~label:"cq" ~est
+                ~actual:(float_of_int (Relation.rows d.drel))));
+      check_materialization t out)
+    plans;
+  fragment_epilogue t ~label u union_node out
+
+(* Parallel counterpart of [eval_ucq_fragment]: compile on the coordinator,
+   fan the disjuncts out over the pool, merge in order. *)
+let eval_ucq_fragment_par t pool ?(label = "") (u : Ucq.t) =
+  let terms = Ucq.cardinal u in
+  if terms > t.profile.Profile.max_union_terms then
+    fail t
+      (Profile.Union_capacity
+         { terms; limit = t.profile.Profile.max_union_terms });
+  let plans = ucq_plans t u in
+  let tr = Obs.enabled () in
+  let cols = Ucq.arity u in
+  let results =
+    Par.parallel_map pool (eval_disjunct t ~cols ~tracing:tr) plans
+  in
+  merge_fragment t ~label u plans results
 
 let eval_ucq t u =
   begin_statement t;
   Analysis.Plan_verify.check_exn (fun () ->
       Analysis.Plan_verify.verify_ucq ~context:"executor/ucq" u);
   Obs.Span.with_ "exec.ucq" @@ fun sp ->
-  let result, tree = eval_ucq_fragment t ~label:"ucq" u in
+  let pool = Par.get () in
+  let result, tree =
+    if Par.jobs pool <= 1 || Ucq.cardinal u <= 1 then
+      eval_ucq_fragment t ~label:"ucq" u
+    else eval_ucq_fragment_par t pool ~label:"ucq" u
+  in
   (match tree with
   | None -> ()
   | Some dd ->
@@ -790,17 +995,57 @@ let eval_jucq t (j : Jucq.t) =
     j.Jucq.fragments;
   Obs.Span.with_ "exec.jucq" @@ fun sp ->
   let tr = Obs.enabled () in
+  let pool = Par.get () in
   let fragments =
-    List.map
-      (fun ((cq : Bgp.t), u) ->
-        let label = if tr then "fragment " ^ Bgp.to_string cq else "" in
-        let rel, tree = eval_ucq_fragment t ~label u in
-        {
-          jnr = { columns = Bgp.head_vars cq; rel };
-          jatoms = (if tr then cq.Bgp.body else []);
-          jtree = tree;
-        })
-      j.Jucq.fragments
+    if Par.jobs pool <= 1 then
+      List.map
+        (fun ((cq : Bgp.t), u) ->
+          let label = if tr then "fragment " ^ Bgp.to_string cq else "" in
+          let rel, tree = eval_ucq_fragment t ~label u in
+          {
+            jnr = { columns = Bgp.head_vars cq; rel };
+            jatoms = (if tr then cq.Bgp.body else []);
+            jtree = tree;
+          })
+        j.Jucq.fragments
+    else begin
+      (* Materialize every fragment concurrently: compile all plans on the
+         coordinator, flatten (fragment, disjunct) into one task batch so
+         small fragments do not serialize behind large ones, then merge
+         fragment by fragment in list order — the charge stream is exactly
+         the sequential one. *)
+      let frags =
+        List.map (fun ((cq, u) : Bgp.t * Ucq.t) -> ((cq, u), ucq_plans t u))
+          j.Jucq.fragments
+      in
+      let tasks =
+        Array.of_list
+          (List.concat_map
+             (fun ((_, u), plans) ->
+               let cols = Ucq.arity u in
+               Array.to_list (Array.map (fun p -> (cols, p)) plans))
+             frags)
+      in
+      let results =
+        Par.parallel_map pool
+          (fun (cols, p) -> eval_disjunct t ~cols ~tracing:tr p)
+          tasks
+      in
+      let off = ref 0 in
+      List.map
+        (fun (((cq : Bgp.t), u), plans) ->
+          let k = Array.length plans in
+          let slice = Array.sub results !off k in
+          off := !off + k;
+          let label = if tr then "fragment " ^ Bgp.to_string cq else "" in
+          let rel, tree = merge_fragment t ~label u plans slice in
+          {
+            jnr = { columns = Bgp.head_vars cq; rel };
+            jatoms = (if tr then cq.Bgp.body else []);
+            jtree = tree;
+          })
+        frags
+    end
   in
   (* Greedy join order: start from the smallest fragment, then repeatedly
      join the smallest fragment sharing a column with the accumulated
@@ -968,7 +1213,7 @@ let eval_jucq t (j : Jucq.t) =
 (* ---- decoding ---- *)
 
 let decode t rel =
-  let d = Rdf.Dictionary.decode (Es.dictionary t.store) in
+  let d = Rdf.Dictionary.decoder (Es.dictionary t.store) in
   Relation.to_list rel
   |> List.map (fun row -> List.map d (Array.to_list row))
   |> List.sort_uniq (List.compare Rdf.Term.compare)

@@ -31,7 +31,9 @@ let attrs_obj attrs =
          attrs)
   ^ "}"
 
-let meta_line () = "{\"type\":\"meta\",\"schema\":1,\"generator\":\"rdfqa\"}"
+let meta_line () =
+  Printf.sprintf "{\"type\":\"meta\",\"schema\":1,\"generator\":\"rdfqa\",\"jobs\":%d}"
+    (Par.current_jobs ())
 
 let query_line name =
   Printf.sprintf "{\"type\":\"query\",\"name\":\"%s\"}" (json_escape name)

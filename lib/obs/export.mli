@@ -4,7 +4,9 @@
 
     Every line is a JSON object with a ["type"] discriminator:
 
-    - [{"type":"meta","schema":1,"generator":"rdfqa"}] — first line.
+    - [{"type":"meta","schema":1,"generator":"rdfqa","jobs":i}] — first
+      line; [jobs ≥ 1] is the parallelism width the trace was produced
+      under ([--jobs] / [RDFQA_JOBS]).
     - [{"type":"query","name":"lubm:Q01"}] — opens one query's records in a
       workload trace.
     - [{"type":"span","name":s,"start_us":f,"dur_us":f,"depth":i,
@@ -26,7 +28,7 @@ val json_escape : string -> string
 (** Escapes a string for inclusion inside JSON double quotes. *)
 
 val meta_line : unit -> string
-(** The schema-version header line. *)
+(** The schema-version header line, stamped with {!Par.current_jobs}. *)
 
 val query_line : string -> string
 (** The per-query delimiter line of a workload trace. *)

@@ -1,5 +1,15 @@
 let tracing = ref false
-let enabled () = !tracing
+
+(* The sink is process-global and deliberately unsynchronized: a trace
+   belongs to the coordinating domain's statement pipeline.  Worker domains
+   of the parallel execution layer (lib/par) must therefore never reach it:
+   every entry point is additionally gated on running in the domain that
+   loaded this module, so with tracing on and [--jobs N] a worker's spans,
+   counters and estimates are no-ops while the coordinator's merge-time
+   instrumentation still lands in one coherent trace. *)
+let main_domain = Domain.self ()
+let armed () = !tracing && Domain.self () = main_domain
+let enabled () = armed ()
 let set_enabled b = tracing := b
 
 type event = {
@@ -39,7 +49,7 @@ module Span = struct
   type t = span
 
   let enter ?(attrs = []) name =
-    if not !tracing then dummy
+    if not (armed ()) then dummy
     else begin
       let s =
         {
@@ -87,7 +97,7 @@ module Span = struct
     end
 
   let with_ ?attrs name f =
-    if not !tracing then f dummy
+    if not (armed ()) then f dummy
     else
       let s = enter ?attrs name in
       Fun.protect ~finally:(fun () -> exit s) (fun () -> f s)
@@ -97,7 +107,7 @@ let open_depth () = List.length !stack
 let events () = List.rev !events_rev
 
 let record_estimate ~label ~est ~actual =
-  if !tracing then estimates_rev := { label; est; actual } :: !estimates_rev
+  if armed () then estimates_rev := { label; est; actual } :: !estimates_rev
 
 let estimates () = List.rev !estimates_rev
 
@@ -106,7 +116,7 @@ let q_error ~est ~actual =
   Float.max (e /. a) (a /. e)
 
 let count name n =
-  if !tracing then
+  if armed () then
     match Hashtbl.find_opt counter_tbl name with
     | Some r -> r := !r + n
     | None -> Hashtbl.add counter_tbl name (ref n)

@@ -8,8 +8,11 @@
     or a workload, then drain the sink with {!events} / {!estimates} /
     {!counters} and hand the result to {!Export} or {!Calibration}.
 
-    The sink is deliberately not thread-safe: the engine is single-threaded
-    and a trace belongs to one statement pipeline. *)
+    The sink is deliberately not thread-safe: a trace belongs to one
+    statement pipeline on the coordinating domain.  Under the parallel
+    execution layer every entry point is additionally a no-op on any domain
+    other than the one that loaded this module, so worker domains can run
+    instrumented code without corrupting (or appearing in) the trace. *)
 
 val enabled : unit -> bool
 (** Whether tracing is on (default: off). *)

@@ -9,6 +9,14 @@ type t = {
   by_value : int H.t;
   mutable by_code : Term.t array;  (* slot c holds the value of code c *)
   mutable next : int;
+  lock : Mutex.t;
+      (* The dictionary is shared by every executor over a store, and the
+         parallel workload driver plans queries from several domains at
+         once; [encode]/[find]/[decode] therefore serialize on this lock.
+         Answers stay deterministic in every sanctioned parallel mode:
+         re-encoding a known value returns its existing code, and genuinely
+         fresh codes (head constants absent from the data) only name output
+         values, never index positions. *)
 }
 
 let dummy = Term.Literal ""
@@ -18,7 +26,18 @@ let create ?(initial_capacity = 1024) () =
     by_value = H.create initial_capacity;
     by_code = Array.make (max 1 initial_capacity) dummy;
     next = 0;
+    lock = Mutex.create ();
   }
+
+let[@inline] locked d f =
+  Mutex.lock d.lock;
+  match f () with
+  | v ->
+      Mutex.unlock d.lock;
+      v
+  | exception e ->
+      Mutex.unlock d.lock;
+      raise e
 
 let grow d =
   let cap = Array.length d.by_code in
@@ -27,6 +46,7 @@ let grow d =
   d.by_code <- a
 
 let encode d v =
+  locked d @@ fun () ->
   match H.find_opt d.by_value v with
   | Some c -> c
   | None ->
@@ -37,15 +57,27 @@ let encode d v =
       d.next <- c + 1;
       c
 
-let find d v = H.find_opt d.by_value v
-
-let mem_code d c = c >= 0 && c < d.next
+let find d v = locked d @@ fun () -> H.find_opt d.by_value v
+let mem_code_unlocked d c = c >= 0 && c < d.next
+let mem_code d c = locked d @@ fun () -> mem_code_unlocked d c
 
 let decode d c =
-  if mem_code d c then d.by_code.(c)
+  locked d @@ fun () ->
+  if mem_code_unlocked d c then d.by_code.(c)
   else invalid_arg (Printf.sprintf "Dictionary.decode: unknown code %d" c)
 
-let cardinal d = d.next
+(* Slots below [next] are never rewritten (growth copies into a fresh
+   array), so a snapshot of [(by_code, next)] taken under the lock can be
+   read without further synchronization.  Bulk decoding — answer
+   materialization from several domains at once — uses this to pay for
+   one lock acquisition per relation instead of one per term. *)
+let decoder d =
+  let by_code, next = locked d @@ fun () -> (d.by_code, d.next) in
+  fun c ->
+    if c >= 0 && c < next then by_code.(c)
+    else invalid_arg (Printf.sprintf "Dictionary.decode: unknown code %d" c)
+
+let cardinal d = locked d @@ fun () -> d.next
 
 let iter f d =
   for c = 0 to d.next - 1 do

@@ -22,6 +22,13 @@ val decode : t -> int -> Term.t
 (** [decode d c] is the value with code [c].  Raises [Invalid_argument] if
     [c] was never allocated. *)
 
+val decoder : t -> int -> Term.t
+(** [decoder d] snapshots the codes allocated so far (one lock
+    acquisition) and returns a reader that decodes with no further
+    synchronization — the cheap way to decode a whole relation, from any
+    domain.  Codes allocated after the snapshot raise
+    [Invalid_argument]. *)
+
 val mem_code : t -> int -> bool
 (** Whether a code has been allocated. *)
 

@@ -47,6 +47,13 @@ type t = {
   atom_cache : (string, Bgp.atom list) Hashtbl.t;
   (* whole-query cache, keyed by the canonical query rendering *)
   query_cache : (string, Ucq.t) Hashtbl.t;
+  (* A reformulator is shared across domains (parallel cover costing, the
+     parallel workload driver), so both memo tables are guarded: probe
+     under the lock, compute outside it — closures and reformulations are
+     pure functions of (schema, key), so two domains racing to fill the
+     same entry compute identical values and the first insert wins —
+     and never hold the lock across a reformulation. *)
+  lock : Mutex.t;
 }
 
 exception Too_large of { bound : int; limit : int }
@@ -57,7 +64,18 @@ let create ?(max_terms = 500_000) schema =
     max_terms;
     atom_cache = Hashtbl.create 64;
     query_cache = Hashtbl.create 64;
+    lock = Mutex.create ();
   }
+
+let locked t f =
+  Mutex.lock t.lock;
+  match f () with
+  | v ->
+      Mutex.unlock t.lock;
+      v
+  | exception e ->
+      Mutex.unlock t.lock;
+      raise e
 
 let schema t = t.schema
 
@@ -125,7 +143,7 @@ let atom_closure t (a0 : Bgp.atom) : Bgp.atom list =
   let a, inverse = normalize_atom a0 in
   let key = atom_key a in
   let normalized_closure =
-    match Hashtbl.find_opt t.atom_cache key with
+    match locked t (fun () -> Hashtbl.find_opt t.atom_cache key) with
     | Some atoms -> atoms
     | None ->
       let schema = t.schema in
@@ -182,8 +200,12 @@ let atom_closure t (a0 : Bgp.atom) : Bgp.atom list =
             fix seen (news @ rest)
       in
         let closure = AtomSet.elements (fix (AtomSet.singleton a) [ a ]) in
-        Hashtbl.add t.atom_cache key closure;
-        closure
+        locked t (fun () ->
+            match Hashtbl.find_opt t.atom_cache key with
+            | Some atoms -> atoms  (* another domain filled it first *)
+            | None ->
+                Hashtbl.add t.atom_cache key closure;
+                closure)
   in
   List.map (denormalize_atom inverse) normalized_closure
 
@@ -321,7 +343,7 @@ let reformulate t (q : Bgp.t) : Ucq.t =
   List.iter Rules.applicable q.body;
   let key = Bgp.to_string (Bgp.canonical q) in
   let u =
-    match Hashtbl.find_opt t.query_cache key with
+    match locked t (fun () -> Hashtbl.find_opt t.query_cache key) with
     | Some u ->
         Obs.Span.set sp "cache" "hit";
         u
@@ -344,7 +366,15 @@ let reformulate t (q : Bgp.t) : Ucq.t =
             instantiated
         in
         let u = Ucq.of_cqs cqs in
-        Hashtbl.add t.query_cache key u;
+        let u =
+          locked t (fun () ->
+              match Hashtbl.find_opt t.query_cache key with
+              | Some u -> u  (* keep the first insert: plan caches key on
+                                the UCQ's physical identity *)
+              | None ->
+                  Hashtbl.add t.query_cache key u;
+                  u)
+        in
         Obs.Span.set sp "cache" "miss";
         u
   in

@@ -13,13 +13,32 @@ type t = {
   cq_cache : (string, float) Hashtbl.t;
   global : global;
   mutable seen_version : int;
+  lock : Mutex.t;
+      (* Estimation entry points serialize on this lock so a statistics
+         instance shared across domains (parallel cover costing, concurrent
+         [answer] calls on one system) keeps its caches consistent.  Every
+         cached value is a pure function of the store snapshot, so lock
+         granularity cannot change any estimate. *)
 }
+
+(* Public entry points lock; the [_unlocked] internals below assume the
+   lock is held (they call each other freely without re-acquiring). *)
+let locked t f =
+  Mutex.lock t.lock;
+  match f () with
+  | v ->
+      Mutex.unlock t.lock;
+      v
+  | exception e ->
+      Mutex.unlock t.lock;
+      raise e
 
 let create store =
   {
     store;
     ndv_cache = Hashtbl.create 64;
     cq_cache = Hashtbl.create 256;
+    lock = Mutex.create ();
     global =
       {
         distinct_subjects = 1;
@@ -58,7 +77,7 @@ let ensure_global t =
     t.global.computed <- true
   end
 
-let ndv t ~prop pos =
+let ndv_unlocked t ~prop pos =
   refresh t;
   let tag = match pos with `Subject -> 0 | `Object -> 1 in
   (* int-packed key: no tuple allocation on the planner's hot lookups *)
@@ -87,6 +106,8 @@ let ndv t ~prop pos =
 
 type slot = Wild | Code of int | Missing
 
+let ndv t ~prop pos = locked t @@ fun () -> ndv_unlocked t ~prop pos
+
 let slot_of t = function
   | Bgp.Var _ -> Wild
   | Bgp.Const c -> (
@@ -109,7 +130,7 @@ let repeated_var (a : Bgp.atom) =
   in
   List.length vs <> List.length (List.sort_uniq String.compare vs)
 
-let atom_count t (a : Bgp.atom) =
+let atom_count_unlocked t (a : Bgp.atom) =
   match pattern_of t a with
   | None -> 0
   | Some pat ->
@@ -137,6 +158,8 @@ let atom_count t (a : Bgp.atom) =
         !n
       end
 
+let atom_count t a = locked t @@ fun () -> atom_count_unlocked t a
+
 (* ---- CQ estimation ---- *)
 
 (* NDV of variable [v]'s position in atom [a], used as the join-selectivity
@@ -153,14 +176,14 @@ let position_ndv t (a : Bgp.atom) v =
   if var_at a.p then t.global.distinct_properties
   else
     match prop_code with
-    | Some p when var_at a.s -> ndv t ~prop:p `Subject
-    | Some p when var_at a.o -> ndv t ~prop:p `Object
+    | Some p when var_at a.s -> ndv_unlocked t ~prop:p `Subject
+    | Some p when var_at a.o -> ndv_unlocked t ~prop:p `Object
     | Some _ -> 1
     | None ->
         if var_at a.s then t.global.distinct_subjects
         else t.global.distinct_objects
 
-let cq_cardinality t (q : Bgp.t) =
+let cq_cardinality_unlocked t (q : Bgp.t) =
   refresh t;
   let key = Bgp.to_string (Bgp.canonical q) in
   match Hashtbl.find_opt t.cq_cache key with
@@ -174,7 +197,7 @@ let cq_cardinality t (q : Bgp.t) =
           (fun card (a : Bgp.atom) ->
             if card = 0.0 then 0.0
             else
-              let n = float_of_int (atom_count t a) in
+              let n = float_of_int (atom_count_unlocked t a) in
               if n = 0.0 then 0.0
               else
                 let card = card *. n in
@@ -194,6 +217,9 @@ let cq_cardinality t (q : Bgp.t) =
       Hashtbl.add t.cq_cache key card;
       card
 
+let cq_cardinality t q = locked t @@ fun () -> cq_cardinality_unlocked t q
+
 let ucq_cardinality t u =
-  List.fold_left (fun acc cq -> acc +. cq_cardinality t cq) 0.0
+  locked t @@ fun () ->
+  List.fold_left (fun acc cq -> acc +. cq_cardinality_unlocked t cq) 0.0
     (Ucq.disjuncts u)

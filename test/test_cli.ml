@@ -227,6 +227,53 @@ let test_check_trace_out () =
   Alcotest.(check int) "check trace validates" 0 vcode;
   Alcotest.(check bool) "check span recorded" true (contains vbody "span=")
 
+(* --jobs N must not change anything observable: answer rows, the engine
+   work accounting and the chosen cover are compared line-for-line (only
+   timing lines may differ).  Runs under RDFQA_VERIFY=1 like every CLI
+   test, so the verifier also sees the parallel plans. *)
+let test_query_jobs_deterministic () =
+  let data = Lazy.force data_file in
+  let observable body =
+    String.split_on_char '\n' body
+    |> List.filter (fun l -> not (contains l "ms"))
+    |> String.concat "\n"
+  in
+  let code1, body1 =
+    run_capture
+      (Printf.sprintf
+         "query -d %s --workload-query lubm:Q02 -s gcov --show-cover" data)
+  in
+  let code4, body4 =
+    run_capture
+      (Printf.sprintf
+         "query -d %s --workload-query lubm:Q02 -s gcov --show-cover \
+          --jobs 4"
+         data)
+  in
+  Alcotest.(check int) "jobs=1 exit code" 0 code1;
+  Alcotest.(check int) "jobs=4 exit code" 0 code4;
+  Alcotest.(check bool) "engine counters present" true
+    (contains body1 "-- engine:");
+  Alcotest.(check string) "identical output modulo timings"
+    (observable body1) (observable body4)
+
+let test_trace_jobs () =
+  let data = Lazy.force data_file in
+  let jsonl = Filename.temp_file "rqa_cli" ".jsonl" in
+  let code, _ =
+    run_capture
+      (Printf.sprintf
+         "trace -d %s --workload-query lubm:Q01 -s gcov -o %s --jobs 4" data
+         jsonl)
+  in
+  Alcotest.(check int) "exit code" 0 code;
+  let vcode, vbody = validate_trace jsonl in
+  let meta_jobs = contains (read_file jsonl) "\"jobs\":4" in
+  Sys.remove jsonl;
+  Alcotest.(check int) "jobs=4 trace validates" 0 vcode;
+  Alcotest.(check bool) "validator summary" true (contains vbody "OK:");
+  Alcotest.(check bool) "meta line records jobs" true meta_jobs
+
 let test_bad_arguments () =
   let code, _ = run_capture "query --workload-query lubm:Q01" in
   Alcotest.(check bool) "missing --data rejected" true (code <> 0);
@@ -255,6 +302,9 @@ let () =
           Alcotest.test_case "trace workload calibration" `Quick
             test_trace_workload_calibration;
           Alcotest.test_case "check --trace-out" `Quick test_check_trace_out;
+          Alcotest.test_case "query --jobs deterministic" `Quick
+            test_query_jobs_deterministic;
+          Alcotest.test_case "trace --jobs 4" `Quick test_trace_jobs;
           Alcotest.test_case "bad arguments" `Quick test_bad_arguments;
         ] );
     ]

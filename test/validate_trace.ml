@@ -207,7 +207,10 @@ let check_line ~first line =
   (match ty with
   | "meta" ->
       if int_ fields "schema" <> 1 then raise (Bad "unknown schema version");
-      ignore (str fields "generator")
+      ignore (str fields "generator");
+      (* The parallelism width the trace was produced under; traces must
+         stay schema-valid at every jobs count. *)
+      if int_ fields "jobs" < 1 then raise (Bad "jobs below 1")
   | "query" -> ignore (str fields "name")
   | "span" ->
       ignore (str fields "name");
