@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Perf-regression gate: compare the sequential (jobs=1) timings in a fresh
+# BENCH_engine.json against the committed BENCH_engine_baseline.json and
+# fail when any benchmark slowed down by more than the threshold.
+#
+# Usage: bench/check_regression.sh [current.json] [baseline.json]
+#
+# The current file is the nested bechamel output ({"results": {name:
+# {"ns_seq": ...}}}); the baseline is the flat form ({"results": {name:
+# ns}}).  Sequential numbers are compared on purpose: CI machines have
+# unpredictable core counts, and ns_seq is the schedulable-work figure the
+# parallel speedup multiplies.  Benchmarks missing from the baseline (new
+# this PR) are reported but never fail the gate; refresh the baseline to
+# start tracking them.  A markdown table goes to $GITHUB_STEP_SUMMARY when
+# set, stdout otherwise.
+set -euo pipefail
+
+CURRENT=${1:-BENCH_engine.json}
+BASELINE=${2:-BENCH_engine_baseline.json}
+THRESHOLD=${REGRESSION_THRESHOLD:-1.25}
+
+for f in "$CURRENT" "$BASELINE"; do
+  if [ ! -f "$f" ]; then
+    echo "check_regression: missing $f" >&2
+    exit 2
+  fi
+done
+
+SUMMARY=${GITHUB_STEP_SUMMARY:-/dev/stdout}
+
+rows=$(jq -r --argjson thr "$THRESHOLD" '
+  .results as $cur
+  | input.results as $base
+  | [$cur | keys[]] | sort | .[]
+  | . as $name
+  | ($cur[$name].ns_seq) as $now
+  | if $base[$name] == null then
+      "\($name)|\($now)|-|-|new (no baseline)"
+    else
+      ($now / $base[$name]) as $r
+      | "\($name)|\($now)|\($base[$name])|\($r * 100 | round / 100)x|" +
+        (if $r > $thr then "REGRESSION" elif $r < 1.0 then "faster" else "ok" end)
+    end
+' "$CURRENT" "$BASELINE")
+
+{
+  echo "## Perf regression gate (ns_seq vs baseline, threshold ${THRESHOLD}x)"
+  echo ""
+  echo "| benchmark | ns_seq | baseline | ratio | verdict |"
+  echo "|---|---|---|---|---|"
+  echo "$rows" | awk -F'|' '{printf "| %s | %s | %s | %s | %s |\n", $1, $2, $3, $4, $5}'
+} >> "$SUMMARY"
+
+if echo "$rows" | grep -q 'REGRESSION$'; then
+  echo "check_regression: FAIL — benchmarks exceeded the ${THRESHOLD}x threshold:" >&2
+  echo "$rows" | grep 'REGRESSION$' | awk -F'|' '{printf "  %s: %s ns vs %s ns (%s)\n", $1, $2, $3, $4}' >&2
+  exit 1
+fi
+
+echo "check_regression: ok ($(echo "$rows" | wc -l) benchmarks within ${THRESHOLD}x)"

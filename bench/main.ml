@@ -48,7 +48,8 @@ type config = {
 
 let all_experiments =
   [ "table1"; "table2"; "table3"; "table4"; "fig4"; "fig5"; "fig6"; "fig7";
-    "fig8"; "fig9"; "fig10"; "ablations"; "minimization"; "workload" ]
+    "fig8"; "fig9"; "fig10"; "ablations"; "minimization"; "workload";
+    "cache" ]
 
 let parse_config () =
   let cfg =
@@ -116,28 +117,43 @@ type dataset = {
   label : string;
   store : Store.Encoded_store.t;
   reformulator : Reformulation.Reformulate.t;
+  cache : Cache.t;
   queries : (string * Bgp.t) list;
-  (* one system per engine profile, sharing the reformulation cache *)
+  (* one system per engine profile, sharing the version-aware cache (and
+     through it the tier-1 reformulation memo) *)
   systems : (string * Rqa.Answering.system) list Lazy.t;
   pg_system : Rqa.Answering.system Lazy.t;
 }
 
 let make_dataset label store queries schema =
   let reformulator = Reformulation.Reformulate.create schema in
+  let cache = Cache.create ~reformulator store in
   let systems =
     lazy
       (List.map
          (fun p ->
            ( p.Engine.Profile.name,
-             Rqa.Answering.make ~profile:p ~reformulator store ))
+             Rqa.Answering.make ~profile:p ~cache store ))
          Engine.Profile.all)
   in
   let pg_system =
     lazy
-      (Rqa.Answering.make ~profile:Engine.Profile.postgres_like ~reformulator
-         store)
+      (Rqa.Answering.make ~profile:Engine.Profile.postgres_like ~cache store)
   in
-  { label; store; reformulator; queries; systems; pg_system }
+  { label; store; reformulator; cache; queries; systems; pg_system }
+
+(* Tier-1-memoized CQ→UCQ reformulation over the dataset's shared cache:
+   what every construction-side consumer below uses, so repeated fragment
+   reformulations cost one table probe. *)
+let cached_reformulate ds cq = Cache.reformulate ds.cache cq
+
+let atom_query (a : Bgp.atom) =
+  let head = List.map (fun v -> Bgp.Var v) (Bgp.atom_vars a) in
+  let head = if head = [] then [ a.s ] else head in
+  Bgp.make head [ a ]
+
+let cached_atom_count ds a =
+  Ucq.cardinal (cached_reformulate ds (atom_query a))
 
 type ctx = {
   cfg : config;
@@ -247,16 +263,11 @@ let per_triple_table ds qname =
     "#answers after reformulation";
   List.iteri
     (fun i (a : Bgp.atom) ->
-      let head = List.map (fun v -> Bgp.Var v) (Bgp.atom_vars a) in
-      let head = if head = [] then [ a.s ] else head in
-      let atom_q = Bgp.make head [ a ] in
+      let atom_q = atom_query a in
       let direct = Engine.Relation.rows (Engine.Executor.eval_cq ex atom_q) in
-      let nref = Reformulation.Reformulate.atom_count ds.reformulator a in
-      let after =
-        Engine.Relation.rows
-          (Engine.Executor.eval_ucq ex
-             (Reformulation.Reformulate.reformulate ds.reformulator atom_q))
-      in
+      let ucq = cached_reformulate ds atom_q in
+      let nref = Ucq.cardinal ucq in
+      let after = Engine.Relation.rows (Engine.Executor.eval_ucq ex ucq) in
       Printf.printf "(t%d)   %15d %17d %27d\n%!" (i + 1) direct nref after)
     q.Bgp.body
 
@@ -276,9 +287,7 @@ let table2 ctx =
   let sys = Lazy.force ds.pg_system in
   let q = List.assoc "Q01" ds.queries in
   let { Rqa.Cover_space.covers; _ } = Rqa.Cover_space.enumerate q in
-  let reformulate cq =
-    Reformulation.Reformulate.reformulate ds.reformulator cq
-  in
+  let reformulate = cached_reformulate ds in
   Printf.printf "%-28s %16s %15s\n" "cover" "#reformulations" "exec.time (ms)";
   List.iter
     (fun cover ->
@@ -431,14 +440,12 @@ let fig9 ctx =
     "Figure 9: our cost model vs the engine-internal estimate (postgres-like)";
   let ds = Lazy.force ctx.lubm_l in
   let paper_sys =
-    Rqa.Answering.make ~profile:Engine.Profile.postgres_like
-      ~reformulator:ds.reformulator ~cost_oracle:Rqa.Answering.Paper_model
-      ds.store
+    Rqa.Answering.make ~profile:Engine.Profile.postgres_like ~cache:ds.cache
+      ~cost_oracle:Rqa.Answering.Paper_model ds.store
   in
   let engine_sys =
-    Rqa.Answering.make ~profile:Engine.Profile.postgres_like
-      ~reformulator:ds.reformulator ~cost_oracle:Rqa.Answering.Engine_model
-      ds.store
+    Rqa.Answering.make ~profile:Engine.Profile.postgres_like ~cache:ds.cache
+      ~cost_oracle:Rqa.Answering.Engine_model ds.store
   in
   Printf.printf "%-5s %14s %14s %14s %14s\n" "q" "ECov(ours)" "ECov(engine)"
     "GCov(ours)" "GCov(engine)";
@@ -457,8 +464,8 @@ let fig9 ctx =
 let fig10_one ds =
   let pg = Lazy.force ds.pg_system in
   let virtuoso =
-    Rqa.Answering.make ~profile:Engine.Profile.virtuoso_like
-      ~reformulator:ds.reformulator ds.store
+    Rqa.Answering.make ~profile:Engine.Profile.virtuoso_like ~cache:ds.cache
+      ds.store
   in
   (* Pay and report the saturation costs once, before timing queries. *)
   let t0 = now_ms () in
@@ -498,9 +505,7 @@ let ablations ctx =
       ds.queries
   in
   let eval_cover sys q cover =
-    let reformulate cq =
-      Reformulation.Reformulate.reformulate ds.reformulator cq
-    in
+    let reformulate = cached_reformulate ds in
     match Jucq.make ~reformulate q cover with
     | j -> (
         let t0 = now_ms () in
@@ -531,8 +536,7 @@ let ablations ctx =
           let cm = Rqa.Cost_model.create ~coefficients:coeff stats in
           let obj =
             Rqa.Objective.create
-              ~reformulate:
-                (Reformulation.Reformulate.reformulate ds.reformulator)
+              ~reformulate:(cached_reformulate ds)
               ~jucq_cost:(Rqa.Cost_model.jucq_cost cm)
               ~ucq_cost:(Rqa.Cost_model.ucq_cost cm)
               q
@@ -570,7 +574,7 @@ let minimization ctx =
     "UCQ (ms)" "minUCQ (ms)";
   List.iter
     (fun (name, q) ->
-      let ucq = Reformulation.Reformulate.reformulate ds.reformulator q in
+      let ucq = cached_reformulate ds q in
       if Ucq.cardinal ucq <= 600 then begin
         let t0 = now_ms () in
         let minimized = Containment.minimize ucq in
@@ -602,10 +606,16 @@ let workload_driver ctx =
        "Workload driver: LUBM small, GCov/postgres-like, jobs=1 vs jobs=%d"
        jobs);
   let ds = Lazy.force ctx.lubm_s in
+  (* Answer caching off for the driver: fresh systems share tiers 1-2
+     through the dataset cache (the point of sharing), but every run must
+     actually execute so the compared operation totals are the engines',
+     not the answer tier's. *)
+  let saved_mode = Cache.mode ds.cache in
+  Cache.set_mode ds.cache Cache.Answers_off;
   let answer_one (_, q) =
     let sys =
-      Rqa.Answering.make ~profile:Engine.Profile.postgres_like
-        ~reformulator:ds.reformulator ds.store
+      Rqa.Answering.make ~profile:Engine.Profile.postgres_like ~cache:ds.cache
+        ds.store
     in
     match Rqa.Answering.answer sys Rqa.Answering.Gcov q with
     | report ->
@@ -660,10 +670,148 @@ let workload_driver ctx =
        no wall-clock speedup is expected here, only the determinism check \
        is meaningful\n%!"
       jobs cpus;
+  Cache.set_mode ds.cache saved_mode;
   if not identical then begin
     prerr_endline "workload driver: parallel run diverged from sequential";
     exit 1
   end
+
+(* ---------- Cache: cold vs warm answering ---------- *)
+
+type cache_run = {
+  c_label : string;
+  cold_ms : float;
+  warm_ms : float;
+  replan_ms : float;  (* answers off: tiers 1-2 only *)
+  t1_hits : int;      (* warm-path tier probes (see below) *)
+  t1_misses : int;
+  t2_hits : int;
+  t2_misses : int;
+  t3_hits : int;
+  t3_misses : int;
+}
+
+(* Filled by [cache_experiment], written by [write_bench_json]. *)
+let cache_runs : cache_run list ref = ref []
+
+(* Three passes over (queries × engine profiles × search strategies):
+   cold, warm (served by the answer tier), and answers-off (served by the
+   reformulation and cover tiers, with real execution).  All three must
+   agree bit-for-bit on decoded rows, covers, reformulation sizes and
+   search effort — and the warm passes must never miss: the second pass
+   asserts a 100% answer-tier hit rate, the third a 100% hit rate on
+   tiers 1-2 (every reformulation and cover cost the cold pass needed is
+   still there; data didn't move).  Engine failures are never cached, so
+   failing statements must fail identically in all three passes. *)
+let cache_experiment ctx =
+  header "Cache: cold vs warm passes (bit-identity + per-tier hit rates)";
+  let check dsl strategies =
+    let ds = Lazy.force dsl in
+    let cache = ds.cache in
+    let systems = Lazy.force ds.systems in
+    let outcome sys strat q =
+      match Rqa.Answering.answer sys strat q with
+      | r ->
+          let ex =
+            match strat with
+            | Rqa.Answering.Saturation -> Rqa.Answering.saturated_engine sys
+            | _ -> Rqa.Answering.engine sys
+          in
+          Ok
+            ( List.map
+                (List.map Rdf.Term.to_string)
+                (Engine.Executor.decode ex r.Rqa.Answering.answers),
+              r.Rqa.Answering.cover,
+              r.Rqa.Answering.union_terms,
+              r.Rqa.Answering.fragment_terms,
+              r.Rqa.Answering.covers_explored )
+      | exception Engine.Profile.Engine_failure { reason; _ } ->
+          Error (Engine.Profile.failure_to_string reason)
+    in
+    let pass () =
+      let t0 = now_ms () in
+      let rows =
+        List.concat_map
+          (fun (ename, sys) ->
+            List.concat_map
+              (fun (sname, strat) ->
+                List.map
+                  (fun (qname, q) ->
+                    ((ename, sname, qname), outcome sys strat q))
+                  ds.queries)
+              strategies)
+          systems
+      in
+      (rows, now_ms () -. t0)
+    in
+    let fail_pass which =
+      Printf.eprintf "cache experiment: %s pass diverged from cold (%s)\n"
+        which ds.label;
+      exit 1
+    in
+    let tier (s : Cache.stats) = function
+      | `T1 -> s.Cache.reformulation
+      | `T2 -> s.Cache.cover
+      | `T3 -> s.Cache.answer
+    in
+    let delta t (before : Cache.stats) (after : Cache.stats) =
+      ( (tier after t).Cache.hits - (tier before t).Cache.hits,
+        (tier after t).Cache.misses - (tier before t).Cache.misses )
+    in
+    let cold, cold_ms = pass () in
+    let s1 = Cache.stats cache in
+    let warm, warm_ms = pass () in
+    let s2 = Cache.stats cache in
+    if warm <> cold then fail_pass "warm";
+    let t3_hits, t3_misses = delta `T3 s1 s2 in
+    if t3_misses > 0 then begin
+      Printf.eprintf
+        "cache experiment: %d answer-tier misses on the warm pass (%s)\n"
+        t3_misses ds.label;
+      exit 1
+    end;
+    Cache.set_mode cache Cache.Answers_off;
+    let replan, replan_ms = pass () in
+    Cache.set_mode cache Cache.On;
+    if replan <> cold then fail_pass "answers-off";
+    let s3 = Cache.stats cache in
+    let t1_hits, t1_misses = delta `T1 s2 s3 in
+    let t2_hits, t2_misses = delta `T2 s2 s3 in
+    if t1_misses > 0 || t2_misses > 0 then begin
+      Printf.eprintf
+        "cache experiment: warm replanning missed (tier1 %d, tier2 %d) (%s)\n"
+        t1_misses t2_misses ds.label;
+      exit 1
+    end;
+    Printf.printf
+      "%-7s cold %8.1f ms | warm %8.1f ms (%5.1fx, %d answer hits) | \
+       replan %8.1f ms (tier1 %d hits, tier2 %d hits, 0 misses)\n%!"
+      ds.label cold_ms warm_ms
+      (cold_ms /. Float.max warm_ms 1e-9)
+      t3_hits replan_ms t1_hits t2_hits;
+    cache_runs :=
+      !cache_runs
+      @ [
+          {
+            c_label = ds.label;
+            cold_ms;
+            warm_ms;
+            replan_ms;
+            t1_hits;
+            t1_misses;
+            t2_hits;
+            t2_misses;
+            t3_hits;
+            t3_misses;
+          };
+        ]
+  in
+  check ctx.lubm_s
+    [
+      ("ECov", Rqa.Answering.Ecov default_ecov_budget);
+      ("GCov", Rqa.Answering.Gcov);
+    ];
+  check ctx.dblp [ ("GCov", Rqa.Answering.Gcov) ]
 
 (* ---------- Bechamel micro-benchmarks ---------- *)
 
@@ -699,6 +847,25 @@ let write_bench_json ~scale ~jobs results =
            (if i = n - 1 then "" else ",")))
     results;
   Buffer.add_string buf "  }";
+  if !cache_runs <> [] then begin
+    Buffer.add_string buf ",\n  \"cache\": {\n";
+    let m = List.length !cache_runs in
+    List.iteri
+      (fun i r ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "    %S: {\"cold_ms\": %.2f, \"warm_ms\": %.2f, \
+              \"replan_ms\": %.2f, \"warm_speedup\": %.1f, \
+              \"answer_hits\": %d, \"answer_misses\": %d, \
+              \"reformulation_hits\": %d, \"reformulation_misses\": %d, \
+              \"cover_hits\": %d, \"cover_misses\": %d}%s\n"
+             r.c_label r.cold_ms r.warm_ms r.replan_ms
+             (r.cold_ms /. Float.max r.warm_ms 1e-9)
+             r.t3_hits r.t3_misses r.t1_hits r.t1_misses r.t2_hits r.t2_misses
+             (if i = m - 1 then "" else ",")))
+      !cache_runs;
+    Buffer.add_string buf "  }"
+  end;
   if Sys.file_exists "BENCH_engine_baseline.json" then begin
     Buffer.add_string buf ",\n  \"baseline\": ";
     Buffer.add_string buf (String.trim (read_file "BENCH_engine_baseline.json"))
@@ -714,9 +881,7 @@ let bechamel_suite ctx =
   let ds = Lazy.force ctx.lubm_s in
   let sys = Lazy.force ds.pg_system in
   let q1 = List.assoc "Q01" ds.queries in
-  let reformulate cq =
-    Reformulation.Reformulate.reformulate ds.reformulator cq
-  in
+  let reformulate = cached_reformulate ds in
   let open Bechamel in
   let open_type_atom =
     Bgp.atom (Bgp.Var "x") (Bgp.Const Rdf.Vocab.rdf_type) (Bgp.Var "y")
@@ -730,11 +895,11 @@ let bechamel_suite ctx =
   let q10 = List.assoc "Q10" dblp.queries in
   let tests =
     [
-      (* Table 1: per-triple reformulation counting *)
+      (* Table 1: per-triple reformulation counting, through the tier-1
+         memo (the production path; counting without any memoization is
+         table4's cold-reformulation benchmark) *)
       Test.make ~name:"table1/atom_count"
-        (Staged.stage (fun () ->
-             Reformulation.Reformulate.atom_count ds.reformulator
-               open_type_atom));
+        (Staged.stage (fun () -> cached_atom_count ds open_type_atom));
       (* Table 2: evaluating the best grouping of q1 *)
       Test.make ~name:"table2/eval_best_jucq"
         (Staged.stage (fun () -> Engine.Executor.eval_jucq ex j_best));
@@ -856,5 +1021,6 @@ let () =
   run "ablations" ablations;
   run "minimization" minimization;
   run "workload" workload_driver;
+  run "cache" cache_experiment;
   if cfg.bechamel then bechamel_suite ctx;
   Printf.printf "\n[bench] done in %.1f s\n" ((now_ms () -. t0) /. 1000.0)

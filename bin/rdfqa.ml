@@ -85,6 +85,31 @@ let to_strategy = function
   | `Ecov -> Rqa.Answering.Ecov Rqa.Cover_space.default_budget
   | `Gcov -> Rqa.Answering.Gcov
 
+let cache_mode_arg =
+  let mode_conv =
+    Arg.enum
+      [
+        ("on", Cache.On);
+        ("off", Cache.Off);
+        ("answers-off", Cache.Answers_off);
+      ]
+  in
+  Arg.(
+    value
+    & opt (some mode_conv) None
+    & info [ "cache" ] ~docv:"MODE"
+        ~doc:
+          "Memoization mode: $(b,on) (reformulations, cover costs and \
+           answers), $(b,answers-off) (plan caching without result \
+           caching) or $(b,off).  Default: $(b,RDFQA_CACHE), else on.")
+
+let apply_cache_mode sys mode =
+  Option.iter (Cache.set_mode (Rqa.Answering.cache sys)) mode
+
+let print_cache_stats sys =
+  Printf.printf "-- cache: %s\n"
+    (Cache.stats_to_string (Cache.stats (Rqa.Answering.cache sys)))
+
 let read_file path =
   let ic = open_in path in
   let n = in_channel_length ic in
@@ -249,6 +274,35 @@ let generate_cmd =
 
 (* ---------- query ---------- *)
 
+(* Triples of an update file: the facts plus the RDFS constraint triples
+   (the store's mutation API partitions them itself). *)
+let load_triples path =
+  let g =
+    if Filename.check_suffix path ".ttl" then Rdf.Turtle.load_file path
+    else Rdf.Ntriples.load_file path
+  in
+  List.map Rdf.Schema.constr_to_triple
+    (Rdf.Schema.constraints (Rdf.Graph.schema g))
+  @ Rdf.Graph.fact_list g
+
+let apply_updates store ~inserts ~deletes =
+  (match inserts with
+  | None -> ()
+  | Some path ->
+      let s, d =
+        Store.Encoded_store.insert_triples store (load_triples path)
+      in
+      Printf.printf "-- inserted %d schema + %d data triples from %s\n" s d
+        path);
+  match deletes with
+  | None -> ()
+  | Some path ->
+      let s, d =
+        Store.Encoded_store.delete_triples store (load_triples path)
+      in
+      Printf.printf "-- deleted %d schema + %d data triples from %s\n" s d
+        path
+
 let query_cmd =
   let show_cover =
     Arg.(value & flag & info [ "show-cover" ] ~doc:"Print the chosen cover.")
@@ -258,14 +312,42 @@ let query_cmd =
       value & opt int 20
       & info [ "limit" ] ~docv:"N" ~doc:"Print at most N answer rows.")
   in
-  let run data wq qs qf strategy profile show_cover limit trace trace_out
-      jobs =
+  let insert_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "insert" ] ~docv:"FILE"
+          ~doc:
+            "After loading, insert FILE's triples (N-Triples or Turtle) \
+             into the store: RDFS constraint triples move the schema \
+             version, facts the data version, and the caches invalidate \
+             accordingly.")
+  in
+  let delete_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "delete" ] ~docv:"FILE"
+          ~doc:"After any --insert, delete FILE's triples from the store.")
+  in
+  let repeat_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "repeat" ] ~docv:"N"
+          ~doc:
+            "Answer the query N times through the cache (per-pass timings \
+             are printed; warm passes hit the answer tier).")
+  in
+  let run data wq qs qf strategy profile show_cover limit cache_mode insert
+      delete repeat trace trace_out jobs =
     apply_jobs jobs;
     match resolve_query wq qs qf with
     | Error msg -> prerr_endline msg; exit 2
     | Ok (q, schema) -> (
         let store = load_store ?schema data in
         let sys = Rqa.Answering.make ~profile store in
+        apply_cache_mode sys cache_mode;
+        apply_updates store ~inserts:insert ~deletes:delete;
         let strategy = to_strategy strategy in
         let tracing = trace || trace_out <> None in
         if tracing then begin
@@ -274,7 +356,15 @@ let query_cmd =
         end;
         let qname = match wq with Some w -> w | None -> "query" in
         let t0 = now_ms () in
-        match Rqa.Answering.answer sys strategy q with
+        match
+          let report = ref (Rqa.Answering.answer sys strategy q) in
+          for pass = 2 to repeat do
+            let t = now_ms () in
+            report := Rqa.Answering.answer sys strategy q;
+            Printf.printf "-- pass %d: %.2f ms\n" pass (now_ms () -. t)
+          done;
+          !report
+        with
         | report ->
             let total = now_ms () -. t0 in
             let ex =
@@ -303,6 +393,7 @@ let query_cmd =
                 Printf.printf "-- fragment union sizes: %s\n"
                   (String.concat " + " (List.map string_of_int ts)));
             print_engine_counters ex;
+            print_cache_stats sys;
             (match (show_cover, report.Rqa.Answering.cover) with
             | true, Some cover ->
                 Printf.printf "-- cover: %s\n" (Query.Jucq.cover_to_string cover)
@@ -336,6 +427,7 @@ let query_cmd =
     Term.(
       const run $ data_arg $ workload_query_arg $ query_string_arg
       $ query_file_arg $ strategy_arg $ engine_arg $ show_cover $ limit
+      $ cache_mode_arg $ insert_arg $ delete_arg $ repeat_arg
       $ trace_flag_arg $ trace_out_arg $ jobs_arg)
 
 (* ---------- reformulate ---------- *)
@@ -507,7 +599,7 @@ let trace_cmd =
             "Write the spans as a Chrome trace_event JSON file (open in \
              chrome://tracing or Perfetto).")
   in
-  let run data wl wq qs qf strategy profile out chrome jobs =
+  let run data wl wq qs qf strategy profile cache_mode out chrome jobs =
     apply_jobs jobs;
     let strategy = to_strategy strategy in
     let queries, schema =
@@ -527,6 +619,7 @@ let trace_cmd =
     in
     let store = load_store ?schema data in
     let sys = Rqa.Answering.make ~profile store in
+    apply_cache_mode sys cache_mode;
     let single = List.length queries = 1 in
     let jsonl_buf = Buffer.create 4096 in
     Buffer.add_string jsonl_buf (Obs.Export.meta_line ());
@@ -573,6 +666,7 @@ let trace_cmd =
     if not single then
       print_string (Obs.Calibration.to_string
                       (Obs.Calibration.of_estimates !all_estimates));
+    print_cache_stats sys;
     (match out with
     | Some f ->
         let oc = open_out f in
@@ -596,7 +690,8 @@ let trace_cmd =
           cardinalities, and the calibration report.")
     Term.(
       const run $ data_arg $ workload $ workload_query_arg $ query_string_arg
-      $ query_file_arg $ strategy_arg $ engine_arg $ out $ chrome $ jobs_arg)
+      $ query_file_arg $ strategy_arg $ engine_arg $ cache_mode_arg $ out
+      $ chrome $ jobs_arg)
 
 (* ---------- check ---------- *)
 

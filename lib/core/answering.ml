@@ -1,4 +1,5 @@
 open Query
+module Es = Store.Encoded_store
 
 type strategy =
   | Saturation
@@ -14,48 +15,114 @@ let strategy_name = function
   | Ecov _ -> "ECov"
   | Gcov -> "GCov"
 
+(* Unlike [strategy_name], the key spells the ECov budget out: two budgets
+   explore different prefixes of the cover space and may select different
+   covers, so their answers must not share tier-3 entries. *)
+let strategy_key = function
+  | Saturation -> "Saturation"
+  | Ucq -> "UCQ"
+  | Scq -> "SCQ"
+  | Ecov b ->
+      Printf.sprintf "ECov(%d,%g)" b.Cover_space.max_covers
+        b.Cover_space.max_millis
+  | Gcov -> "GCov"
+
 type cost_oracle = Paper_model | Engine_model
 
 type system = {
   engine : Engine.Executor.t;
-  saturated : Engine.Executor.t Lazy.t;
-  reformulator : Reformulation.Reformulate.t;
+  (* saturated twin, keyed by the (schema, data) versions it was built
+     from: a store update invalidates it and the next Saturation answer
+     re-saturates.  Guarded for shared-system concurrency. *)
+  mutable saturated : (int * int * Engine.Executor.t) option;
+  sat_lock : Mutex.t;
+  cache : Cache.t;
   cost : Cost_model.t;
   oracle : cost_oracle;
+  (* tier-2/3 key prefix naming everything the costs depend on beside the
+     query and store state: engine profile, cost oracle, calibration *)
+  scope : string;
 }
 
+(* Calibrated coefficients are measured, not derived — two calibrations of
+   the same profile need not agree — so each calibrated system costs under
+   a scope of its own and shares tier-2/3 entries with nobody. *)
+let calibration_counter = Atomic.make 0
+
 let make ?(profile = Engine.Profile.postgres_like) ?(calibrate = false)
-    ?(cost_oracle = Paper_model) ?reformulator store =
+    ?(cost_oracle = Paper_model) ?reformulator ?cache store =
   let engine = Engine.Executor.create ~profile store in
   let coefficients =
     if calibrate then Cost_model.calibrate engine
     else Cost_model.coefficients_of_profile profile
   in
+  let cache =
+    match cache with
+    | Some c ->
+        if Cache.store c != store then
+          invalid_arg "Answering.make: cache bound to a different store";
+        c
+    | None -> Cache.create ?reformulator store
+  in
   {
     engine;
-    saturated =
-      lazy
-        (Engine.Executor.create ~profile (Store.Encoded_store.saturate store));
-    reformulator =
-      (match reformulator with
-      | Some r -> r
-      | None ->
-          Reformulation.Reformulate.create (Store.Encoded_store.schema store));
+    saturated = None;
+    sat_lock = Mutex.create ();
+    cache;
     cost =
       Cost_model.create ~coefficients (Engine.Executor.statistics engine);
     oracle = cost_oracle;
+    scope =
+      String.concat "|"
+        [
+          profile.Engine.Profile.name;
+          (match cost_oracle with
+          | Paper_model -> "paper"
+          | Engine_model -> "engine");
+          (if calibrate then
+             Printf.sprintf "calibrated-%d"
+               (Atomic.fetch_and_add calibration_counter 1)
+           else "profile");
+        ];
   }
 
 let of_graph ?profile ?calibrate ?cost_oracle g =
   make ?profile ?calibrate ?cost_oracle (Store.Encoded_store.of_graph g)
 
 let engine s = s.engine
-let saturated_engine s = Lazy.force s.saturated
-let reformulator s = s.reformulator
+
+let saturated_engine s =
+  let store = Engine.Executor.store s.engine in
+  let sv = Es.schema_version store and dv = Es.data_version store in
+  Mutex.lock s.sat_lock;
+  match
+    match s.saturated with
+    | Some (sv', dv', ex) when sv' = sv && dv' = dv -> ex
+    | _ ->
+        let ex =
+          Engine.Executor.create
+            ~profile:(Engine.Executor.profile s.engine)
+            (Es.saturate store)
+        in
+        s.saturated <- Some (sv, dv, ex);
+        ex
+  with
+  | ex ->
+      Mutex.unlock s.sat_lock;
+      ex
+  | exception e ->
+      Mutex.unlock s.sat_lock;
+      raise e
+
+let cache s = s.cache
+let reformulator s = Cache.reformulator s.cache
 let cost_model s = s.cost
 
+let query_key q =
+  Bgp.to_string (Bgp.canonical (Bgp.dedup_body (Bgp.normalize q)))
+
 let objective s q =
-  let reformulate cq = Reformulation.Reformulate.reformulate s.reformulator cq in
+  let reformulate cq = Cache.reformulate s.cache cq in
   let jucq_cost =
     match s.oracle with
     | Paper_model -> Cost_model.jucq_cost s.cost
@@ -65,10 +132,11 @@ let objective s q =
     (Engine.Executor.profile s.engine).Engine.Profile.max_union_terms
   in
   let fragment_capacity cq =
-    Reformulation.Reformulate.count_product_bound s.reformulator cq
+    Reformulation.Reformulate.count_product_bound (reformulator s) cq
     <= capacity
   in
-  Objective.create ~fragment_capacity ~reformulate ~jucq_cost
+  let shared = Cache.tier2 s.cache ~scope:s.scope ~query_key:(query_key q) in
+  Objective.create ~fragment_capacity ?shared ~reformulate ~jucq_cost
     ~ucq_cost:(Cost_model.ucq_cost s.cost)
     q
 
@@ -89,9 +157,7 @@ type report = {
 let now_ms () = Unix.gettimeofday () *. 1000.0
 
 let run_cover s strategy q cover ~covers_explored ~planning_start =
-  let obj_free_reformulate cq =
-    Reformulation.Reformulate.reformulate s.reformulator cq
-  in
+  let obj_free_reformulate cq = Cache.reformulate s.cache cq in
   let profile = Engine.Executor.profile s.engine in
   let refuse terms =
     (* The statement is refused before execution, like an RDBMS rejecting
@@ -106,12 +172,11 @@ let run_cover s strategy q cover ~covers_explored ~planning_start =
                { terms; limit = profile.Engine.Profile.max_union_terms };
          })
   in
+  let refm = reformulator s in
   List.iter
     (fun f ->
       let cqf = Jucq.cover_query q cover f in
-      let bound =
-        Reformulation.Reformulate.count_product_bound s.reformulator cqf
-      in
+      let bound = Reformulation.Reformulate.count_product_bound refm cqf in
       if bound > profile.Engine.Profile.max_union_terms then refuse bound)
     cover;
   let jucq =
@@ -159,10 +224,7 @@ let run_cover s strategy q cover ~covers_explored ~planning_start =
     execution_ms = now_ms () -. exec_start;
   }
 
-let answer s strategy q =
-  Obs.Span.with_ "answer" ~attrs:[ ("strategy", strategy_name strategy) ]
-  @@ fun _sp ->
-  let q = Bgp.normalize q in
+let answer_uncached s strategy q =
   match strategy with
   | Saturation ->
       let planning_start = now_ms () in
@@ -199,6 +261,44 @@ let answer s strategy q =
       let result = Gcov.search (objective s q) in
       run_cover s strategy q result.Gcov.cover
         ~covers_explored:result.Gcov.explored ~planning_start
+
+let answer s strategy q =
+  Obs.Span.with_ "answer" ~attrs:[ ("strategy", strategy_name strategy) ]
+  @@ fun _sp ->
+  let q = Bgp.normalize q in
+  let start = now_ms () in
+  let key =
+    String.concat "\x00" [ s.scope; strategy_key strategy; query_key q ]
+  in
+  match Cache.find_answer s.cache key with
+  | Some (e : Cache.answer_entry) ->
+      (* a hit replays the stored plan metadata — the same cover, sizes
+         and search effort the cold run reported — under its own (probe)
+         timings; engine failures are never cached, so failing statements
+         fail identically warm and cold *)
+      {
+        answers = e.Cache.answers;
+        strategy;
+        cover = e.Cache.cover;
+        union_terms = e.Cache.union_terms;
+        fragment_terms = e.Cache.fragment_terms;
+        estimated_cost = e.Cache.estimated_cost;
+        covers_explored = e.Cache.covers_explored;
+        planning_ms = now_ms () -. start;
+        execution_ms = 0.0;
+      }
+  | None ->
+      let r = answer_uncached s strategy q in
+      Cache.add_answer s.cache key
+        {
+          Cache.answers = r.answers;
+          cover = r.cover;
+          union_terms = r.union_terms;
+          fragment_terms = r.fragment_terms;
+          estimated_cost = r.estimated_cost;
+          covers_explored = r.covers_explored;
+        };
+      r
 
 let answer_terms s strategy q =
   let report = answer s strategy q in

@@ -10,10 +10,15 @@
       the exhaustive, resp. greedy, cost-driven search of Section 4.
 
     A {!system} bundles the raw store, its lazily saturated twin, the
-    reformulation engine, statistics and cost model; {!answer} runs a
-    query under a strategy and reports the answers plus the planning
-    metadata (chosen cover, reformulation sizes, algorithm effort) that
-    the benchmark harness turns into the paper's tables and figures. *)
+    version-aware {!Cache} (reformulations, cover costs, answers),
+    statistics and cost model; {!answer} runs a query under a strategy and
+    reports the answers plus the planning metadata (chosen cover,
+    reformulation sizes, algorithm effort) that the benchmark harness
+    turns into the paper's tables and figures.  Store updates
+    ({!Store.Encoded_store.insert_triples} and friends) are picked up
+    automatically: every cache tier, the executor's plans, the statistics
+    and the saturated twin revalidate against the store's version
+    counters. *)
 
 type strategy =
   | Saturation
@@ -36,15 +41,17 @@ val make :
   ?calibrate:bool ->
   ?cost_oracle:cost_oracle ->
   ?reformulator:Reformulation.Reformulate.t ->
+  ?cache:Cache.t ->
   Store.Encoded_store.t ->
   system
 (** A query-answering system over a loaded store.  [calibrate] (default
     [false]) learns the cost coefficients by probing the engine; otherwise
     the profile defaults apply.  [cost_oracle] picks the cost function
     guiding ECov/GCov (default {!Paper_model}; Figure 9 compares both).
-    [reformulator] lets several systems over the same schema share one
-    reformulation cache (the benchmark harness runs three engine profiles
-    against one store). *)
+    [cache] lets several systems over one store share one {!Cache} (the
+    benchmark harness runs three engine profiles against one store);
+    it must be bound to [store].  When absent a private cache is created
+    ([reformulator] then seeds its tier-1 engine). *)
 
 val of_graph :
   ?profile:Engine.Profile.t ->
@@ -58,10 +65,15 @@ val engine : system -> Engine.Executor.t
 (** The engine over the raw (non-saturated) store. *)
 
 val saturated_engine : system -> Engine.Executor.t
-(** The engine over the saturated store (forced on first use). *)
+(** The engine over the saturated store (forced on first use, rebuilt when
+    the store's version counters move). *)
+
+val cache : system -> Cache.t
+(** The system's cache (shared or private). *)
 
 val reformulator : system -> Reformulation.Reformulate.t
-(** The shared CQ→UCQ reformulation engine. *)
+(** The current schema generation's CQ→UCQ reformulation engine
+    ({!Cache.reformulator}).  Do not retain across schema updates. *)
 
 val cost_model : system -> Cost_model.t
 (** The calibrated Section 4.1 cost model. *)
@@ -83,7 +95,10 @@ type report = {
 }
 
 val answer : system -> strategy -> Query.Bgp.t -> report
-(** Answers the query under a strategy.
+(** Answers the query under a strategy.  With answer caching on, a repeat
+    of the same (strategy, query) on an unchanged store is served from
+    tier 3: bit-identical answers and plan metadata, near-zero timings.
+    Failing statements are never cached and fail identically warm or cold.
     @raise Engine.Profile.Engine_failure when the engine profile's limits
     are hit (the missing bars of Figures 4-6). *)
 

@@ -6,14 +6,22 @@ type t = {
   reformulate : Bgp.t -> Ucq.t;
   jucq_cost : Jucq.t -> float;
   ucq_cost : Ucq.t -> float;
+  (* Private per-search memos.  They alone drive [explored]: the counter
+     measures how many distinct covers THIS search had to price, whether
+     the price came from a fresh computation or from the shared tier —
+     which keeps the statistic identical between cold and warm runs. *)
   jucq_cache : (string, Jucq.t) Hashtbl.t;
   cost_cache : (string, float) Hashtbl.t;
   fragment_cache : (string, float) Hashtbl.t;
+  (* Data-versioned tier shared across searches and systems (None when
+     caching is off): probed after the private memo, published after a
+     computation. *)
+  shared : Cache.tier2 option;
   mutable explored : int;
 }
 
-let create ?(fragment_capacity = fun _ -> true) ~reformulate ~jucq_cost
-    ~ucq_cost query =
+let create ?(fragment_capacity = fun _ -> true) ?shared ~reformulate
+    ~jucq_cost ~ucq_cost query =
   {
     query;
     fragment_capacity;
@@ -23,6 +31,7 @@ let create ?(fragment_capacity = fun _ -> true) ~reformulate ~jucq_cost
     jucq_cache = Hashtbl.create 64;
     cost_cache = Hashtbl.create 64;
     fragment_cache = Hashtbl.create 64;
+    shared;
     explored = 0;
   }
 
@@ -32,39 +41,77 @@ let cover_key (c : Jucq.cover) =
   let frag f = String.concat "," (List.map string_of_int f) in
   String.concat ";" (List.sort String.compare (List.map frag c))
 
+let shared_find_jucq t key =
+  match t.shared with None -> None | Some h -> Cache.t2_find_jucq h key
+
+let shared_find_cost t key =
+  match t.shared with None -> None | Some h -> Cache.t2_find_cost h key
+
+(* Publishing returns the winning JUCQ: under first-insert-wins, every
+   search sharing the tier sees one physical JUCQ per cover, which is what
+   the engine's plan caches key on. *)
+let shared_add_jucq t key j =
+  match t.shared with None -> j | Some h -> Cache.t2_add_jucq h key j
+
+let shared_add_cost t key c =
+  match t.shared with None -> () | Some h -> Cache.t2_add_cost h key c
+
+let build_jucq t cover =
+  Jucq.make ~reformulate:t.reformulate t.query cover
+
 let jucq_of t cover =
   let key = cover_key cover in
   match Hashtbl.find_opt t.jucq_cache key with
   | Some j -> j
   | None ->
-      let j = Jucq.make ~reformulate:t.reformulate t.query cover in
+      let j =
+        match shared_find_jucq t key with
+        | Some j -> j
+        | None -> shared_add_jucq t key (build_jucq t cover)
+      in
       Hashtbl.add t.jucq_cache key j;
       j
+
+(* The raw pricing of a cover, shared by [cover_cost] and [prime]: returns
+   the JUCQ too (when one was built) so callers can memoize it alongside.
+   A cover with a fragment the engine would refuse, or whose reformulation
+   cannot even be constructed, is infinitely expensive; the capacity
+   screen avoids building huge unions just to reject them. *)
+let compute_cost t cover =
+  let feasible =
+    List.for_all
+      (fun f -> t.fragment_capacity (Jucq.cover_query t.query cover f))
+      cover
+  in
+  if not feasible then (None, infinity)
+  else
+    match build_jucq t cover with
+    | j -> (Some j, t.jucq_cost j)
+    | exception Reformulation.Reformulate.Too_large _ -> (None, infinity)
+
+let memoize_cost t key j c =
+  (match j with
+  | Some j when not (Hashtbl.mem t.jucq_cache key) ->
+      Hashtbl.add t.jucq_cache key (shared_add_jucq t key j)
+  | _ -> ());
+  shared_add_cost t key c;
+  Hashtbl.add t.cost_cache key c;
+  t.explored <- t.explored + 1
 
 let cover_cost t cover =
   let key = cover_key cover in
   match Hashtbl.find_opt t.cost_cache key with
   | Some c -> c
-  | None ->
-      (* A cover with a fragment the engine would refuse, or whose
-         reformulation cannot even be constructed, is infinitely expensive;
-         the capacity screen avoids building huge unions just to reject
-         them. *)
-      let feasible =
-        List.for_all
-          (fun f -> t.fragment_capacity (Jucq.cover_query t.query cover f))
-          cover
-      in
-      let c =
-        if not feasible then infinity
-        else
-          match jucq_of t cover with
-          | j -> t.jucq_cost j
-          | exception Reformulation.Reformulate.Too_large _ -> infinity
-      in
-      Hashtbl.add t.cost_cache key c;
-      t.explored <- t.explored + 1;
-      c
+  | None -> (
+      match shared_find_cost t key with
+      | Some c ->
+          Hashtbl.add t.cost_cache key c;
+          t.explored <- t.explored + 1;
+          c
+      | None ->
+          let j, c = compute_cost t cover in
+          memoize_cost t key j c;
+          c)
 
 (* Batch-primes the caches for a list of covers, computing the uncached
    ones' reformulations and costs in parallel, then memoizing sequentially
@@ -93,17 +140,12 @@ let prime pool t covers =
       let arr = Array.of_list fresh in
       let compute cover =
         match
-          let feasible =
-            List.for_all
-              (fun f -> t.fragment_capacity (Jucq.cover_query t.query cover f))
-              cover
-          in
-          if not feasible then (None, infinity)
-          else
-            match Jucq.make ~reformulate:t.reformulate t.query cover with
-            | j -> (Some j, t.jucq_cost j)
-            | exception Reformulation.Reformulate.Too_large _ ->
-                (None, infinity)
+          (* the shared probe happens inside the worker: on a warm tier
+             every cover resolves without touching the reformulator *)
+          let key = cover_key cover in
+          match shared_find_cost t key with
+          | Some c -> (None, c)
+          | None -> compute_cost t cover
         with
         | v -> Ok v
         | exception e -> Error e
@@ -115,14 +157,7 @@ let prime pool t covers =
           | Error _ -> ()  (* left uncached; [cover_cost] re-raises *)
           | Ok (j, c) ->
               let key = cover_key arr.(i) in
-              if not (Hashtbl.mem t.cost_cache key) then begin
-                (match j with
-                | Some j when not (Hashtbl.mem t.jucq_cache key) ->
-                    Hashtbl.add t.jucq_cache key j
-                | _ -> ());
-                Hashtbl.add t.cost_cache key c;
-                t.explored <- t.explored + 1
-              end)
+              if not (Hashtbl.mem t.cost_cache key) then memoize_cost t key j c)
         results
 
 let fragment_cost t (f : Jucq.fragment) =
@@ -130,22 +165,37 @@ let fragment_cost t (f : Jucq.fragment) =
   match Hashtbl.find_opt t.fragment_cache key with
   | Some c -> c
   | None ->
-      let atoms = List.map (List.nth t.query.Bgp.body) f in
-      let vars =
-        List.sort_uniq String.compare (List.concat_map Bgp.atom_vars atoms)
-      in
-      let head = List.map (fun v -> Bgp.Var v) vars in
-      let cq =
-        match head with
-        | [] -> Bgp.make [ (List.hd atoms).Bgp.s ] atoms
-        | _ -> Bgp.make head atoms
-      in
       let c =
-        if not (t.fragment_capacity cq) then infinity
-        else
-          match t.reformulate cq with
-          | ucq -> t.ucq_cost ucq
-          | exception Reformulation.Reformulate.Too_large _ -> infinity
+        let shared =
+          match t.shared with
+          | None -> None
+          | Some h -> Cache.t2_find_fragment h key
+        in
+        match shared with
+        | Some c -> c
+        | None ->
+            let atoms = List.map (List.nth t.query.Bgp.body) f in
+            let vars =
+              List.sort_uniq String.compare
+                (List.concat_map Bgp.atom_vars atoms)
+            in
+            let head = List.map (fun v -> Bgp.Var v) vars in
+            let cq =
+              match head with
+              | [] -> Bgp.make [ (List.hd atoms).Bgp.s ] atoms
+              | _ -> Bgp.make head atoms
+            in
+            let c =
+              if not (t.fragment_capacity cq) then infinity
+              else
+                match t.reformulate cq with
+                | ucq -> t.ucq_cost ucq
+                | exception Reformulation.Reformulate.Too_large _ -> infinity
+            in
+            (match t.shared with
+            | None -> ()
+            | Some h -> Cache.t2_add_fragment h key c);
+            c
       in
       Hashtbl.add t.fragment_cache key c;
       c

@@ -8,6 +8,7 @@ type t
 
 val create :
   ?fragment_capacity:(Query.Bgp.t -> bool) ->
+  ?shared:Cache.tier2 ->
   reformulate:(Query.Bgp.t -> Query.Ucq.t) ->
   jucq_cost:(Query.Jucq.t -> float) ->
   ucq_cost:(Query.Ucq.t -> float) ->
@@ -22,7 +23,13 @@ val create :
     false (the engine would refuse the fragment's union anyway), the cover
     is priced infinite without paying the construction — this is what lets
     exhaustive search traverse spaces whose worst covers have 300,000-term
-    fragments. *)
+    fragments.  [shared] layers the store-versioned cover/cost tier of
+    {!Cache} under the private per-search memos: probes check the private
+    memo, then the shared tier, and computed entries are published back, so
+    repeated searches of one query skip cover pricing entirely.
+    {!explored} still counts distinct covers priced {e by this objective}
+    — shared hits included — keeping the search statistic identical
+    between cold and warm runs. *)
 
 val query : t -> Query.Bgp.t
 (** The query under optimization. *)

@@ -79,7 +79,7 @@ let create ?(profile = Profile.postgres_like) store =
     last_stats = None;
     plans = Plan_tbl.create 256;
     ucq_plans = Ucq_tbl.create 64;
-    plans_version = Es.version store;
+    plans_version = Es.data_version store;
     plan_lock = Mutex.create ();
   }
 
@@ -364,9 +364,10 @@ let exec_cq t ?counters ?charge:charge_sink (p : plan)
    nothing about which statements fail or why.  The cache is keyed by the
    query's physical identity (a prepared UCQ/JUCQ re-presents the same
    disjunct objects on every evaluation) and is dropped wholesale when the
-   store version moves, since statistics-driven atom orders may shift. *)
+   store's data version moves, since statistics-driven atom orders may
+   shift; schema-only changes touch no facts and keep the plans valid. *)
 let flush_stale_plans t =
-  let v = Es.version t.store in
+  let v = Es.data_version t.store in
   if v <> t.plans_version then begin
     Plan_tbl.reset t.plans;
     Ucq_tbl.reset t.ucq_plans;

@@ -43,16 +43,18 @@ type t = {
   schema : Rdf.Schema.t;
   max_terms : int;
   (* atom-closure cache, keyed by the atom with variables positionally
-     renamed (see [atom_key]) *)
+     renamed (see [atom_key]).  This is the only memo the engine keeps:
+     whole-query UCQs are memoized one level up, by the schema-versioned
+     tier of [Cache], which knows when the schema (and hence this entire
+     engine) is obsolete — a query-level table here would be version-blind
+     and serve stale unions after a schema update. *)
   atom_cache : (string, Bgp.atom list) Hashtbl.t;
-  (* whole-query cache, keyed by the canonical query rendering *)
-  query_cache : (string, Ucq.t) Hashtbl.t;
   (* A reformulator is shared across domains (parallel cover costing, the
-     parallel workload driver), so both memo tables are guarded: probe
-     under the lock, compute outside it — closures and reformulations are
-     pure functions of (schema, key), so two domains racing to fill the
-     same entry compute identical values and the first insert wins —
-     and never hold the lock across a reformulation. *)
+     parallel workload driver), so the memo table is guarded: probe under
+     the lock, compute outside it — closures are pure functions of
+     (schema, key), so two domains racing to fill the same entry compute
+     identical values and the first insert wins — and never hold the lock
+     across an expansion. *)
   lock : Mutex.t;
 }
 
@@ -63,7 +65,6 @@ let create ?(max_terms = 500_000) schema =
     schema;
     max_terms;
     atom_cache = Hashtbl.create 64;
-    query_cache = Hashtbl.create 64;
     lock = Mutex.create ();
   }
 
@@ -341,43 +342,20 @@ let reformulate t (q : Bgp.t) : Ucq.t =
   Obs.Span.with_ "reformulate" @@ fun sp ->
   let q = Bgp.dedup_body (Bgp.normalize q) in
   List.iter Rules.applicable q.body;
-  let key = Bgp.to_string (Bgp.canonical q) in
-  let u =
-    match locked t (fun () -> Hashtbl.find_opt t.query_cache key) with
-    | Some u ->
-        Obs.Span.set sp "cache" "hit";
-        u
-    | None when count_product_bound t q > t.max_terms ->
-        raise
-          (Too_large
-             { bound = count_product_bound t q; limit = t.max_terms })
-    | None ->
-        let prefix = safe_prefix q in
-        let instantiated = instantiation_closure t.schema q in
-        Obs.count "reformulate.rule.instantiate"
-          (List.length instantiated - 1);
-        let cqs =
-          List.concat_map
-            (fun (cq : Bgp.t) ->
-              let closures =
-                Array.of_list (List.map (atom_closure t) cq.body)
-              in
-              assemble ~prefix cq closures)
-            instantiated
-        in
-        let u = Ucq.of_cqs cqs in
-        let u =
-          locked t (fun () ->
-              match Hashtbl.find_opt t.query_cache key with
-              | Some u -> u  (* keep the first insert: plan caches key on
-                                the UCQ's physical identity *)
-              | None ->
-                  Hashtbl.add t.query_cache key u;
-                  u)
-        in
-        Obs.Span.set sp "cache" "miss";
-        u
+  let bound = count_product_bound t q in
+  if bound > t.max_terms then
+    raise (Too_large { bound; limit = t.max_terms });
+  let prefix = safe_prefix q in
+  let instantiated = instantiation_closure t.schema q in
+  Obs.count "reformulate.rule.instantiate" (List.length instantiated - 1);
+  let cqs =
+    List.concat_map
+      (fun (cq : Bgp.t) ->
+        let closures = Array.of_list (List.map (atom_closure t) cq.body) in
+        assemble ~prefix cq closures)
+      instantiated
   in
+  let u = Ucq.of_cqs cqs in
   Obs.Span.set sp "terms" (string_of_int (Ucq.cardinal u));
   u
 

@@ -17,12 +17,15 @@
       (which substitute through the whole query) and then expands each atom
       by its atom-local closure, assembling the cartesian product.  This is
       what makes 300,000-term reformulations (LUBM Q28, Table 3) tractable,
-      and it caches atom closures and whole-query reformulations, both of
-      which ECov/GCov request massively (one reformulation per candidate
-      fragment per cover). *)
+      and it caches atom closures, which ECov/GCov request massively (one
+      reformulation per candidate fragment per cover).  Whole-query
+      reformulations are memoized one level up, by the schema-versioned
+      tier of [Cache] — an engine is bound to one immutable schema and
+      cannot know when a store update obsoletes it. *)
 
 type t
-(** A reformulation engine bound to one schema, with internal caches. *)
+(** A reformulation engine bound to one schema, with an internal
+    atom-closure cache. *)
 
 exception Too_large of { bound : int; limit : int }
 (** Raised when a reformulation's size provably exceeds the engine's
@@ -38,8 +41,8 @@ val schema : t -> Rdf.Schema.t
 (** The engine's schema. *)
 
 val reformulate : t -> Query.Bgp.t -> Query.Ucq.t
-(** [reformulate t q] is the UCQ reformulation of [q] w.r.t. the schema
-    (cached).  @raise Rules.Unsupported_atom on out-of-fragment atoms. *)
+(** [reformulate t q] is the UCQ reformulation of [q] w.r.t. the schema.
+    @raise Rules.Unsupported_atom on out-of-fragment atoms. *)
 
 val count : t -> Query.Bgp.t -> int
 (** [|q_ref|]: number of union terms of the reformulation — the statistic

@@ -1,7 +1,13 @@
 type pattern = { ps : int option; pp : int option; po : int option }
 
+type change = { added : bool; cs : int; cp : int; co : int }
+
+(* The change log is bounded: consumers that fall behind by more than
+   [log_max] effective changes rebuild from scratch instead of replaying. *)
+let log_max = 4096
+
 type t = {
-  schema : Rdf.Schema.t;
+  mutable schema : Rdf.Schema.t;
   dict : Rdf.Dictionary.t;
   col_s : Intvec.t;
   col_p : Intvec.t;
@@ -13,7 +19,10 @@ type t = {
   idx_po : (int, Intvec.t) Hashtbl.t;
   idx_so : (int, Intvec.t) Hashtbl.t;
   ids : (int * int * int, int) Hashtbl.t;  (* triple -> id, duplicate guard *)
-  mutable version : int;
+  mutable schema_version : int;  (* effective RDFS-constraint changes *)
+  mutable data_version : int;    (* effective fact inserts + deletes *)
+  log : change Queue.t;          (* the last <= log_max effective changes *)
+  mutable log_base : int;        (* data_version at the head of [log] *)
 }
 
 (* Pair keys are packed into one 62-bit integer; codes stay far below 2^31
@@ -36,13 +45,38 @@ let create schema =
     idx_po = Hashtbl.create 1024;
     idx_so = Hashtbl.create 1024;
     ids = Hashtbl.create 1024;
-    version = 0;
+    schema_version = 0;
+    data_version = 0;
+    log = Queue.create ();
+    log_base = 0;
   }
 
 let schema t = t.schema
 let dictionary t = t.dict
 let size t = Intvec.length t.col_s
-let version t = t.version
+let schema_version t = t.schema_version
+let data_version t = t.data_version
+let version t = t.schema_version + t.data_version
+
+let log_change t added s p o =
+  Queue.add { added; cs = s; cp = p; co = o } t.log;
+  if Queue.length t.log > log_max then begin
+    ignore (Queue.pop t.log);
+    t.log_base <- t.log_base + 1
+  end
+
+let changes_since t ~since =
+  if since < t.log_base || since > t.data_version then None
+  else begin
+    let out = ref [] in
+    let i = ref t.log_base in
+    Queue.iter
+      (fun c ->
+        if !i >= since then out := c :: !out;
+        incr i)
+      t.log;
+    Some (List.rev !out)
+  end
 
 let posting tbl key =
   match Hashtbl.find_opt tbl key with
@@ -54,7 +88,8 @@ let posting tbl key =
 
 let insert_code t s p o =
   if not (Hashtbl.mem t.ids (s, p, o)) then begin
-    t.version <- t.version + 1;
+    t.data_version <- t.data_version + 1;
+    log_change t true s p o;
     let id = size t in
     Hashtbl.add t.ids (s, p, o) id;
     Intvec.push t.col_s s;
@@ -74,6 +109,121 @@ let insert t (tr : Rdf.Triple.t) =
       ("Encoded_store.insert: constraint triple: " ^ Rdf.Triple.to_string tr);
   let enc = Rdf.Dictionary.encode t.dict in
   insert_code t (enc tr.subj) (enc tr.pred) (enc tr.obj)
+
+(* ---- deletion: swap-remove on the columns and the six postings ---- *)
+
+let remove_from_posting tbl key id =
+  match Hashtbl.find_opt tbl key with
+  | None -> ()
+  | Some v ->
+      ignore (Intvec.swap_remove_value v id);
+      if Intvec.length v = 0 then Hashtbl.remove tbl key
+
+let relabel_in_posting tbl key ~from ~to_ =
+  match Hashtbl.find_opt tbl key with
+  | None -> ()
+  | Some v ->
+      let n = Intvec.length v in
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue && !i < n do
+        if Intvec.get v !i = from then begin
+          Intvec.set v !i to_;
+          continue := false
+        end;
+        incr i
+      done
+
+let delete_code t s p o =
+  match Hashtbl.find_opt t.ids (s, p, o) with
+  | None -> false
+  | Some id ->
+      t.data_version <- t.data_version + 1;
+      log_change t false s p o;
+      let last = size t - 1 in
+      Hashtbl.remove t.ids (s, p, o);
+      remove_from_posting t.idx_s s id;
+      remove_from_posting t.idx_p p id;
+      remove_from_posting t.idx_o o id;
+      remove_from_posting t.idx_sp (pack s p) id;
+      remove_from_posting t.idx_po (pack p o) id;
+      remove_from_posting t.idx_so (pack s o) id;
+      if id <> last then begin
+        (* move the last triple into the vacated slot: posting entries,
+           the ids table and the column cells all re-label [last] as [id] *)
+        let ls = Intvec.get t.col_s last
+        and lp = Intvec.get t.col_p last
+        and lo = Intvec.get t.col_o last in
+        relabel_in_posting t.idx_s ls ~from:last ~to_:id;
+        relabel_in_posting t.idx_p lp ~from:last ~to_:id;
+        relabel_in_posting t.idx_o lo ~from:last ~to_:id;
+        relabel_in_posting t.idx_sp (pack ls lp) ~from:last ~to_:id;
+        relabel_in_posting t.idx_po (pack lp lo) ~from:last ~to_:id;
+        relabel_in_posting t.idx_so (pack ls lo) ~from:last ~to_:id;
+        Hashtbl.replace t.ids (ls, lp, lo) id;
+        Intvec.set t.col_s id ls;
+        Intvec.set t.col_p id lp;
+        Intvec.set t.col_o id lo
+      end;
+      ignore (Intvec.pop t.col_s);
+      ignore (Intvec.pop t.col_p);
+      ignore (Intvec.pop t.col_o);
+      true
+
+let delete t (tr : Rdf.Triple.t) =
+  if Rdf.Triple.is_schema_constraint tr then
+    invalid_arg
+      ("Encoded_store.delete: constraint triple: " ^ Rdf.Triple.to_string tr);
+  (* probe, never encode: deleting an unknown term must not grow the
+     dictionary *)
+  match
+    ( Rdf.Dictionary.find t.dict tr.subj,
+      Rdf.Dictionary.find t.dict tr.pred,
+      Rdf.Dictionary.find t.dict tr.obj )
+  with
+  | Some s, Some p, Some o -> delete_code t s p o
+  | _ -> false
+
+(* ---- triple-level mutation API: constraints go to the schema ---- *)
+
+let constr_declared schema c = List.mem c (Rdf.Schema.constraints schema)
+
+let insert_triples t triples =
+  let schema_changes = ref 0 and data_changes = ref 0 in
+  List.iter
+    (fun (tr : Rdf.Triple.t) ->
+      match Rdf.Schema.constr_of_triple tr with
+      | Some c ->
+          if not (constr_declared t.schema c) then begin
+            t.schema <- Rdf.Schema.add c t.schema;
+            t.schema_version <- t.schema_version + 1;
+            incr schema_changes
+          end
+      | None ->
+          let before = t.data_version in
+          insert t tr;
+          if t.data_version <> before then incr data_changes)
+    triples;
+  (!schema_changes, !data_changes)
+
+let delete_triples t triples =
+  let schema_changes = ref 0 and data_changes = ref 0 in
+  List.iter
+    (fun (tr : Rdf.Triple.t) ->
+      match Rdf.Schema.constr_of_triple tr with
+      | Some c ->
+          if constr_declared t.schema c then begin
+            t.schema <-
+              Rdf.Schema.of_constraints
+                (List.filter
+                   (fun c' -> c' <> c)
+                   (Rdf.Schema.constraints t.schema));
+            t.schema_version <- t.schema_version + 1;
+            incr schema_changes
+          end
+      | None -> if delete t tr then incr data_changes)
+    triples;
+  (!schema_changes, !data_changes)
 
 let of_graph g =
   let t = create (Rdf.Graph.schema g) in

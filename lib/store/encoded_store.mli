@@ -31,8 +31,32 @@ val insert : t -> Rdf.Triple.t -> unit
 val insert_code : t -> int -> int -> int -> unit
 (** Inserts an already-encoded triple, skipping duplicates. *)
 
+val delete : t -> Rdf.Triple.t -> bool
+(** Deletes one data triple; returns whether it was stored.  The store is
+    compacted by swap-remove: the last triple takes over the deleted
+    triple's id, so ids are dense but not stable across deletions.  Never
+    grows the dictionary.  Raises [Invalid_argument] on an
+    RDFS-constraint triple. *)
+
+val delete_code : t -> int -> int -> int -> bool
+(** Deletes an already-encoded triple; returns whether it was stored. *)
+
+val insert_triples : t -> Rdf.Triple.t list -> int * int
+(** Bulk insert routing RDFS-constraint triples into the schema (closure
+    recomputed) and the rest into the fact table.  Returns
+    [(schema_changes, data_changes)]: the number of {e effective} changes
+    of each kind — duplicates count zero and bump no version. *)
+
+val delete_triples : t -> Rdf.Triple.t list -> int * int
+(** Bulk delete, the inverse of {!insert_triples}: constraint triples
+    retract declared schema constraints (schema rebuilt from the remaining
+    ones), data triples leave the fact table.  Returns the effective
+    [(schema_changes, data_changes)]. *)
+
 val schema : t -> Rdf.Schema.t
-(** The schema associated with the stored facts. *)
+(** The schema associated with the stored facts.  Mutable: constraint
+    triples passed to {!insert_triples} / {!delete_triples} replace it
+    (and bump {!schema_version}). *)
 
 val dictionary : t -> Rdf.Dictionary.t
 (** The value dictionary. *)
@@ -40,9 +64,31 @@ val dictionary : t -> Rdf.Dictionary.t
 val size : t -> int
 (** Number of stored triples. *)
 
+val schema_version : t -> int
+(** Monotone counter of effective RDFS-constraint changes.  Reformulation
+    caches key on it: a data-only update leaves it unchanged. *)
+
+val data_version : t -> int
+(** Monotone counter of effective fact inserts and deletes.  Statistics,
+    plan and answer caches key on it. *)
+
 val version : t -> int
-(** Monotone modification counter: bumped on every effective insert.
-    Derived structures (statistics caches) use it to detect staleness. *)
+(** [schema_version t + data_version t]: the legacy single staleness
+    counter, bumped on every effective change of either kind. *)
+
+type change = {
+  added : bool;  (** [true] for an insert, [false] for a delete *)
+  cs : int;
+  cp : int;
+  co : int;
+}
+(** One effective fact-table change, in encoded form. *)
+
+val changes_since : t -> since:int -> change list option
+(** [changes_since t ~since] is the list of effective fact changes that
+    took the store from data version [since] to {!data_version}, oldest
+    first — or [None] when [since] is outside the bounded change log's
+    window (the caller must then rebuild its derived state from scratch). *)
 
 val encode_term : t -> Rdf.Term.t -> int option
 (** The code of a term, [None] if the term does not occur. *)

@@ -1,9 +1,13 @@
 open Query
 
+(* Store-wide distinct counts are kept as occurrence-count tables (code ->
+   number of stored triples carrying it in that position) so the change
+   log can maintain them incrementally: an insert whose count goes 0 -> 1
+   adds a distinct value, a delete whose count goes 1 -> 0 removes one. *)
 type global = {
-  mutable distinct_subjects : int;
-  mutable distinct_properties : int;
-  mutable distinct_objects : int;
+  occ_s : (int, int) Hashtbl.t;
+  occ_p : (int, int) Hashtbl.t;
+  occ_o : (int, int) Hashtbl.t;
   mutable computed : bool;
 }
 
@@ -41,41 +45,74 @@ let create store =
     lock = Mutex.create ();
     global =
       {
-        distinct_subjects = 1;
-        distinct_properties = 1;
-        distinct_objects = 1;
+        occ_s = Hashtbl.create 1024;
+        occ_p = Hashtbl.create 64;
+        occ_o = Hashtbl.create 1024;
         computed = false;
       };
-    seen_version = Encoded_store.version store;
+    seen_version = Encoded_store.data_version store;
   }
 
 let store t = t.store
 
-(* Cached statistics are tied to a store snapshot; updates flush them. *)
+let occ_incr tbl code =
+  Hashtbl.replace tbl code
+    (1 + Option.value ~default:0 (Hashtbl.find_opt tbl code))
+
+let occ_decr tbl code =
+  match Hashtbl.find_opt tbl code with
+  | None | Some 1 -> Hashtbl.remove tbl code
+  | Some n -> Hashtbl.replace tbl code (n - 1)
+
+(* One effective store change: per-property NDV entries for the touched
+   property are dropped (exact recount on next demand), the occurrence
+   tables absorb the delta when built. *)
+let apply_change t (c : Encoded_store.change) =
+  Hashtbl.remove t.ndv_cache (2 * c.Encoded_store.cp);
+  Hashtbl.remove t.ndv_cache ((2 * c.Encoded_store.cp) + 1);
+  if t.global.computed then begin
+    let step = if c.Encoded_store.added then occ_incr else occ_decr in
+    step t.global.occ_s c.Encoded_store.cs;
+    step t.global.occ_p c.Encoded_store.cp;
+    step t.global.occ_o c.Encoded_store.co
+  end
+
+let full_flush t =
+  Hashtbl.reset t.ndv_cache;
+  Hashtbl.reset t.cq_cache;
+  Hashtbl.reset t.global.occ_s;
+  Hashtbl.reset t.global.occ_p;
+  Hashtbl.reset t.global.occ_o;
+  t.global.computed <- false
+
+(* Cached statistics are tied to a store snapshot; updates refresh them —
+   incrementally from the store's change log when the gap fits its bounded
+   window, by a full flush otherwise.  CQ estimates always flush: a join
+   estimate can depend on every property a change touches transitively. *)
 let refresh t =
-  let v = Encoded_store.version t.store in
+  let v = Encoded_store.data_version t.store in
   if v <> t.seen_version then begin
-    Hashtbl.reset t.ndv_cache;
-    Hashtbl.reset t.cq_cache;
-    t.global.computed <- false;
+    (match Encoded_store.changes_since t.store ~since:t.seen_version with
+    | Some changes ->
+        List.iter (apply_change t) changes;
+        Hashtbl.reset t.cq_cache
+    | None -> full_flush t);
     t.seen_version <- v
   end
 
 let ensure_global t =
   if not t.global.computed then begin
-    let s = Hashtbl.create 1024
-    and p = Hashtbl.create 64
-    and o = Hashtbl.create 1024 in
     for i = 0 to Encoded_store.size t.store - 1 do
-      Hashtbl.replace s (Encoded_store.subject t.store i) ();
-      Hashtbl.replace p (Encoded_store.property t.store i) ();
-      Hashtbl.replace o (Encoded_store.obj t.store i) ()
+      occ_incr t.global.occ_s (Encoded_store.subject t.store i);
+      occ_incr t.global.occ_p (Encoded_store.property t.store i);
+      occ_incr t.global.occ_o (Encoded_store.obj t.store i)
     done;
-    t.global.distinct_subjects <- max 1 (Hashtbl.length s);
-    t.global.distinct_properties <- max 1 (Hashtbl.length p);
-    t.global.distinct_objects <- max 1 (Hashtbl.length o);
     t.global.computed <- true
   end
+
+let distinct_subjects t = max 1 (Hashtbl.length t.global.occ_s)
+let distinct_properties t = max 1 (Hashtbl.length t.global.occ_p)
+let distinct_objects t = max 1 (Hashtbl.length t.global.occ_o)
 
 let ndv_unlocked t ~prop pos =
   refresh t;
@@ -173,15 +210,14 @@ let position_ndv t (a : Bgp.atom) v =
     | Bgp.Var _ -> None
   in
   let var_at pos = match pos with Bgp.Var w -> String.equal w v | _ -> false in
-  if var_at a.p then t.global.distinct_properties
+  if var_at a.p then distinct_properties t
   else
     match prop_code with
     | Some p when var_at a.s -> ndv_unlocked t ~prop:p `Subject
     | Some p when var_at a.o -> ndv_unlocked t ~prop:p `Object
     | Some _ -> 1
     | None ->
-        if var_at a.s then t.global.distinct_subjects
-        else t.global.distinct_objects
+        if var_at a.s then distinct_subjects t else distinct_objects t
 
 let cq_cardinality_unlocked t (q : Bgp.t) =
   refresh t;
@@ -223,3 +259,12 @@ let ucq_cardinality t u =
   locked t @@ fun () ->
   List.fold_left (fun acc cq -> acc +. cq_cardinality_unlocked t cq) 0.0
     (Ucq.disjuncts u)
+
+let global_distinct t pos =
+  locked t @@ fun () ->
+  refresh t;
+  ensure_global t;
+  match pos with
+  | `Subject -> distinct_subjects t
+  | `Property -> distinct_properties t
+  | `Object -> distinct_objects t

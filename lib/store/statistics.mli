@@ -22,8 +22,13 @@
 type t
 
 val create : Encoded_store.t -> t
-(** Statistics bound to a store.  NDV tables are built lazily and flushed
-    when the store's {!Encoded_store.version} moves. *)
+(** Statistics bound to a store.  NDV tables are built lazily.  When the
+    store's {!Encoded_store.data_version} moves, the caches are refreshed
+    incrementally from {!Encoded_store.changes_since}: only the touched
+    properties' NDV entries are dropped and the store-wide distinct counts
+    absorb the delta; a full flush happens only when the change log's
+    bounded window has been outrun.  Schema-only changes refresh
+    nothing. *)
 
 val store : t -> Encoded_store.t
 (** The underlying store. *)
@@ -35,6 +40,10 @@ val atom_count : t -> Query.Bgp.atom -> int
 val ndv : t -> prop:int -> [ `Subject | `Object ] -> int
 (** Number of distinct subject (resp. object) codes among the triples with
     the given property code.  At least 1 for a non-empty posting. *)
+
+val global_distinct : t -> [ `Subject | `Property | `Object ] -> int
+(** Store-wide number of distinct codes in a triple position (at least 1).
+    Maintained incrementally from the store's change log after updates. *)
 
 val cq_cardinality : t -> Query.Bgp.t -> float
 (** Estimated number of answers of a CQ (before head projection /
