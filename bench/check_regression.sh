@@ -58,3 +58,59 @@ if echo "$rows" | grep -q 'REGRESSION$'; then
 fi
 
 echo "check_regression: ok ($(echo "$rows" | wc -l) benchmarks within ${THRESHOLD}x)"
+
+# --- scaling gate -----------------------------------------------------------
+# The "scaling" section holds ns/run per requested jobs level {1,2,4}.  What
+# it must show depends on the machine:
+#   cpus == 1  — no speedup is possible, so speedup assertions are skipped;
+#     instead the core clamp must keep the jobs=4 run of the two evaluation
+#     benchmarks within CLAMP_THRESHOLD of jobs=1 (pre-clamp, oversubscribed
+#     domains time-sliced one core and regressed these badly).
+#   cpus >= 2  — real domains run, so jobs=2 of the same benchmarks must not
+#     regress past the ordinary threshold (parallelism may not hurt).
+CLAMP_THRESHOLD=${CLAMP_THRESHOLD:-1.15}
+SCALING_BENCHES=${SCALING_BENCHES:-"table2/eval_best_jucq fig4-6/eval_ucq_jucq"}
+
+if [ "$(jq -r '.scaling != null' "$CURRENT")" != "true" ]; then
+  echo "check_regression: no scaling section, skipping scaling gate"
+  exit 0
+fi
+
+cpus=$(jq -r '.cpus' "$CURRENT")
+if [ "$cpus" -le 1 ]; then
+  gate_jobs=4 gate_thr=$CLAMP_THRESHOLD gate_desc="1-core clamp overhead"
+else
+  gate_jobs=2 gate_thr=$THRESHOLD gate_desc="multi-core parallel overhead"
+fi
+
+{
+  echo ""
+  echo "## Scaling gate ($gate_desc: jobs=$gate_jobs vs jobs=1, threshold ${gate_thr}x)"
+  echo ""
+  echo "| benchmark | ns jobs=1 | ns jobs=$gate_jobs | ratio |"
+  echo "|---|---|---|---|"
+  for b in $SCALING_BENCHES; do
+    jq -r --arg b "$b" --argjson j "$gate_jobs" \
+      '.scaling[$b] | "| \($b) | \(.["1"]) | \(.[$j | tostring]) | \((.[$j | tostring] / .["1"]) * 100 | round / 100)x |"' \
+      "$CURRENT"
+  done
+} >> "$SUMMARY"
+
+fail=0
+for b in $SCALING_BENCHES; do
+  ratio_ok=$(jq -r --arg b "$b" --argjson j "$gate_jobs" --argjson thr "$gate_thr" \
+    '.scaling[$b] as $s
+     | if $s == null or $s["1"] == null or $s[$j | tostring] == null then "missing"
+       elif ($s[$j | tostring] / $s["1"]) <= $thr then "ok"
+       else "fail" end' "$CURRENT")
+  case "$ratio_ok" in
+    ok) ;;
+    missing) echo "check_regression: scaling data missing for $b" >&2 ;;
+    fail)
+      echo "check_regression: FAIL — $b jobs=$gate_jobs exceeds ${gate_thr}x of jobs=1" >&2
+      fail=1 ;;
+  esac
+done
+[ "$fail" -eq 0 ] || exit 1
+
+echo "check_regression: scaling ok (jobs=$gate_jobs within ${gate_thr}x on: $SCALING_BENCHES)"

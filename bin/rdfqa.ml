@@ -171,7 +171,18 @@ let jobs_arg =
            search (default: $(b,RDFQA_JOBS), else 1).  Answers, chosen \
            covers and operation totals are identical at every N.")
 
-let apply_jobs jobs = Option.iter Par.set_jobs jobs
+let apply_jobs jobs =
+  Option.iter
+    (fun j ->
+      Par.set_jobs j;
+      (* honest width: the pool clamps to the cores the OS grants *)
+      let effective = Par.jobs (Par.get ()) in
+      if effective < j then
+        Printf.printf
+          "-- jobs=%d clamped to %d (cores available; set RDFQA_JOBS_FORCE=1 \
+           to oversubscribe)\n%!"
+          j effective)
+    jobs
 
 let chrome_file f =
   Filename.check_suffix f ".trace" || Filename.check_suffix f ".chrome.json"

@@ -46,6 +46,8 @@ let hash width src off =
   let h = !h in
   h lxor (h lsr 29)
 
+let hash_slice ~width src off = hash width src off
+
 let key_equal t e src off =
   let base = e * t.width in
   let rec go i =

@@ -45,3 +45,9 @@ val value : t -> int -> int
 
 val set_value : t -> int -> int -> unit
 (** [set_value t e v] overwrites entry [e]'s payload. *)
+
+val hash_slice : width:int -> int array -> int -> int
+(** The table's own FNV-1a hash of the key slice at [src.(off) ..].  The
+    partitioned operators derive their partition ids from this, so a row
+    lands in the same partition as the table bucket it would probe —
+    deterministic for a given key, independent of jobs count. *)

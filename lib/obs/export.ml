@@ -32,8 +32,9 @@ let attrs_obj attrs =
   ^ "}"
 
 let meta_line () =
-  Printf.sprintf "{\"type\":\"meta\",\"schema\":1,\"generator\":\"rdfqa\",\"jobs\":%d}"
-    (Par.current_jobs ())
+  Printf.sprintf
+    "{\"type\":\"meta\",\"schema\":1,\"generator\":\"rdfqa\",\"jobs\":%d,\"effective_jobs\":%d}"
+    (Par.current_jobs ()) (Par.effective_jobs ())
 
 let query_line name =
   Printf.sprintf "{\"type\":\"query\",\"name\":\"%s\"}" (json_escape name)
@@ -57,12 +58,14 @@ let estimate_line (e : Trace.estimate) =
 
 let op_line ~path (n : Op_stats.t) =
   Printf.sprintf
-    "{\"type\":\"op\",\"path\":\"%s\",\"kind\":\"%s\",\"label\":\"%s\",\"rows_in\":%d,\"rows_out\":%d,\"index_probes\":%d,\"hash_inserts\":%d,\"hash_collisions\":%d,\"work_units\":%d,\"est_rows\":%s}"
+    "{\"type\":\"op\",\"path\":\"%s\",\"kind\":\"%s\",\"label\":\"%s\",\"rows_in\":%d,\"rows_out\":%d,\"index_probes\":%d,\"hash_inserts\":%d,\"hash_collisions\":%d,\"work_units\":%d,\"morsels\":%d,\"skew\":%s,\"est_rows\":%s}"
     (json_escape path)
     (Op_stats.kind_name n.Op_stats.kind)
     (json_escape n.Op_stats.label)
     n.Op_stats.rows_in n.Op_stats.rows_out n.Op_stats.index_probes
     n.Op_stats.hash_inserts n.Op_stats.hash_collisions n.Op_stats.work_units
+    n.Op_stats.morsels
+    (json_float (match Op_stats.skew n with Some s -> s | None -> -1.0))
     (json_float n.Op_stats.est_rows)
 
 let counter_line (name, value) =

@@ -4,9 +4,11 @@
 
     Every line is a JSON object with a ["type"] discriminator:
 
-    - [{"type":"meta","schema":1,"generator":"rdfqa","jobs":i}] — first
-      line; [jobs ≥ 1] is the parallelism width the trace was produced
-      under ([--jobs] / [RDFQA_JOBS]).
+    - [{"type":"meta","schema":1,"generator":"rdfqa","jobs":i,
+        "effective_jobs":i}] — first line; [jobs ≥ 1] is the {e requested}
+      parallelism width ([--jobs] / [RDFQA_JOBS]), [effective_jobs ≥ 1]
+      the width the pool actually ran at after the core clamp
+      ([effective_jobs ≤ jobs] unless [RDFQA_JOBS_FORCE=1]).
     - [{"type":"query","name":"lubm:Q01"}] — opens one query's records in a
       workload trace.
     - [{"type":"span","name":s,"start_us":f,"dur_us":f,"depth":i,
@@ -16,9 +18,12 @@
       estimated-vs-actual cardinality observation; [q_error ≥ 1].
     - [{"type":"op","path":s,"kind":s,"label":s,"rows_in":i,"rows_out":i,
         "index_probes":i,"hash_inserts":i,"hash_collisions":i,
-        "work_units":i,"est_rows":f}] — one plan-operator node; [path] is
-      the dotted child-index path ("0", "0.1", …), [kind] one of
-      {!Op_stats.kind_name}'s values, [est_rows] is [-1] when unknown.
+        "work_units":i,"morsels":i,"skew":f,"est_rows":f}] — one
+      plan-operator node; [path] is the dotted child-index path ("0",
+      "0.1", …), [kind] one of {!Op_stats.kind_name}'s values, [morsels]
+      is the number of morsels the operator dispatched (0 = sequential),
+      [skew] the {!Op_stats.skew} load-balance ratio ([-1] when
+      sequential or empty), [est_rows] is [-1] when unknown.
     - [{"type":"counter","name":s,"value":i}] — a named counter total.
 
     [test/validate_trace.ml] checks emitted files against exactly this
@@ -28,7 +33,8 @@ val json_escape : string -> string
 (** Escapes a string for inclusion inside JSON double quotes. *)
 
 val meta_line : unit -> string
-(** The schema-version header line, stamped with {!Par.current_jobs}. *)
+(** The schema-version header line, stamped with {!Par.current_jobs} and
+    the honest {!Par.effective_jobs}. *)
 
 val query_line : string -> string
 (** The per-query delimiter line of a workload trace. *)

@@ -17,7 +17,8 @@ type task = {
 }
 
 type t = {
-  width : int;
+  width : int;  (* effective width after the core clamp *)
+  requested : int;  (* width the caller asked for *)
   m : Mutex.t;
   work : Condition.t;  (* a new job was published, or [stop] was set *)
   finished : Condition.t;  (* a job's last index completed *)
@@ -29,6 +30,21 @@ type t = {
 }
 
 let jobs t = t.width
+let requested_jobs t = t.requested
+let is_busy t = Atomic.get t.busy
+
+let force_jobs () =
+  match Sys.getenv_opt "RDFQA_JOBS_FORCE" with
+  | Some ("1" | "true" | "yes") -> true
+  | _ -> false
+
+(* Widths above the core count cannot win: domains time-slice and every
+   minor collection synchronizes all of them.  Clamp unless the user
+   explicitly forces oversubscription (RDFQA_JOBS_FORCE=1). *)
+let clamp_width requested =
+  let requested = max 1 requested in
+  if force_jobs () then requested
+  else min requested (max 1 (Domain.recommended_domain_count ()))
 
 let drain pool task =
   let rec loop () =
@@ -71,10 +87,12 @@ let worker_loop pool =
   loop ()
 
 let create ~jobs =
-  let width = max 1 jobs in
+  let requested = max 1 jobs in
+  let width = clamp_width requested in
   let pool =
     {
       width;
+      requested;
       m = Mutex.create ();
       work = Condition.create ();
       finished = Condition.create ();
@@ -175,6 +193,8 @@ let exit_hook = ref false
 let current_jobs () =
   match !requested with Some j -> j | None -> env_jobs ()
 
+let effective_jobs () = clamp_width (current_jobs ())
+
 let set_jobs j =
   Mutex.lock glock;
   requested := Some (max 1 j);
@@ -185,7 +205,7 @@ let get () =
   let width = match !requested with Some j -> j | None -> env_jobs () in
   let pool =
     match !global with
-    | Some p when p.width = width -> p
+    | Some p when p.requested = width -> p
     | prev ->
         (match prev with Some p -> shutdown p | None -> ());
         let p = create ~jobs:width in

@@ -26,11 +26,26 @@ type t
 (** A fixed pool of worker domains. *)
 
 val create : jobs:int -> t
-(** [create ~jobs] spawns [max 0 (jobs - 1)] worker domains.  [jobs <= 1]
-    spawns nothing. *)
+(** [create ~jobs] spawns [width - 1] worker domains, where [width] is
+    [jobs] clamped to {!recommended_jobs} — requesting more domains than
+    the OS grants cores cannot win (domains time-slice and every minor
+    collection synchronizes all of them), so on a 1-core container
+    [~jobs:4] degrades to the sequential path instead of oversubscribing.
+    Set [RDFQA_JOBS_FORCE=1] to bypass the clamp (e.g. to exercise true
+    multi-domain interleavings on a small machine).  [jobs <= 1] spawns
+    nothing. *)
 
 val jobs : t -> int
-(** The pool's parallelism width (including the calling domain). *)
+(** The pool's {e effective} parallelism width (including the calling
+    domain), after the core clamp. *)
+
+val requested_jobs : t -> int
+(** The width the pool was asked for, before the core clamp. *)
+
+val is_busy : t -> bool
+(** [true] while a job is in flight on the pool.  A caller seeing [true]
+    should take its sequential path: submitting anyway is safe (the pool
+    falls back inline) but pointless. *)
 
 val shutdown : t -> unit
 (** Terminates and joins the worker domains.  Idempotent. *)
@@ -75,8 +90,12 @@ val set_jobs : int -> unit
     [RDFQA_JOBS].  The global pool is resized on its next {!get}. *)
 
 val current_jobs : unit -> int
-(** The effective global width: the last {!set_jobs} value, else
+(** The requested global width: the last {!set_jobs} value, else
     {!env_jobs}. *)
+
+val effective_jobs : unit -> int
+(** {!current_jobs} after the core clamp — the width the global pool
+    actually runs at (honest number for bench/trace metadata). *)
 
 val get : unit -> t
 (** The process-global pool at the current width, (re)created on demand.

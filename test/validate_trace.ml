@@ -209,8 +209,11 @@ let check_line ~first line =
       if int_ fields "schema" <> 1 then raise (Bad "unknown schema version");
       ignore (str fields "generator");
       (* The parallelism width the trace was produced under; traces must
-         stay schema-valid at every jobs count. *)
-      if int_ fields "jobs" < 1 then raise (Bad "jobs below 1")
+         stay schema-valid at every jobs count.  [effective_jobs] is the
+         post-clamp width the pool actually ran at. *)
+      if int_ fields "jobs" < 1 then raise (Bad "jobs below 1");
+      if int_ fields "effective_jobs" < 1 then
+        raise (Bad "effective_jobs below 1")
   | "query" -> ignore (str fields "name")
   | "span" ->
       ignore (str fields "name");
@@ -233,8 +236,12 @@ let check_line ~first line =
         (fun k -> ignore (nonneg_int fields k))
         [
           "rows_in"; "rows_out"; "index_probes"; "hash_inserts";
-          "hash_collisions"; "work_units";
+          "hash_collisions"; "work_units"; "morsels";
         ];
+      (* skew is a load-balance ratio >= 1, or the -1 sentinel for
+         operators that ran sequentially (or produced no rows) *)
+      let skew = num fields "skew" in
+      if skew <> -1.0 && skew < 1.0 then raise (Bad "skew below 1");
       ignore (num fields "est_rows")
   | "counter" ->
       ignore (str fields "name");
