@@ -59,6 +59,56 @@ fi
 
 echo "check_regression: ok ($(echo "$rows" | wc -l) benchmarks within ${THRESHOLD}x)"
 
+# --- admission gate ---------------------------------------------------------
+# The "admission" section counts the static cost analyzer's verdicts over
+# each workload's SCQ-cover plans, per engine profile.  Watched invariants:
+#   - the four verdict counts tile the workload exactly (nothing dropped);
+#   - no plan is provably doomed at a real profile's budget
+#     (provably_fails == 0: every workload query is answerable);
+#   - when the baseline carries its own admission section, provably_safe may
+#     not drop below the baseline's count for the same label — analyzer
+#     precision is ratcheted, never silently lost.
+# Baselines without an .admission section (predating the analyzer) skip the
+# comparison, like new benchmarks in the perf gate above.
+if [ "$(jq -r '.admission != null' "$CURRENT")" = "true" ]; then
+  adm_rows=$(jq -r '
+    .admission as $cur
+    | input.admission as $base
+    | [$cur | keys[]] | sort | .[]
+    | . as $l
+    | $cur[$l] as $a
+    | ($a.provably_safe + $a.provably_fails + $a.unknown + $a.skipped) as $sum
+    | (if $base != null and $base[$l] != null
+       then ($base[$l].provably_safe | tostring) else "-" end) as $bs
+    | (if $sum != $a.queries then "INCOHERENT"
+       elif $a.provably_fails != 0 then "DOOMED"
+       elif $bs != "-" and $a.provably_safe < ($bs | tonumber)
+       then "LOST-PRECISION"
+       else "ok" end) as $verdict
+    | "\($l)|\($a.queries)|\($a.provably_safe)|\($a.provably_fails)|" +
+      "\($a.unknown)|\($a.skipped)|\($bs)|\($verdict)"
+  ' "$CURRENT" "$BASELINE")
+
+  {
+    echo ""
+    echo "## Admission gate (static cost verdicts per engine profile)"
+    echo ""
+    echo "| workload/profile | queries | safe | fails | unknown | skipped | baseline safe | verdict |"
+    echo "|---|---|---|---|---|---|---|---|"
+    echo "$adm_rows" | awk -F'|' \
+      '{printf "| %s | %s | %s | %s | %s | %s | %s | %s |\n", $1, $2, $3, $4, $5, $6, $7, $8}'
+  } >> "$SUMMARY"
+
+  if echo "$adm_rows" | grep -qE '(INCOHERENT|DOOMED|LOST-PRECISION)$'; then
+    echo "check_regression: FAIL — admission invariants violated:" >&2
+    echo "$adm_rows" | grep -E '(INCOHERENT|DOOMED|LOST-PRECISION)$' >&2
+    exit 1
+  fi
+  echo "check_regression: admission ok ($(echo "$adm_rows" | wc -l) profile runs)"
+else
+  echo "check_regression: no admission section, skipping admission gate"
+fi
+
 # --- scaling gate -----------------------------------------------------------
 # The "scaling" section holds ns/run per requested jobs level {1,2,4}.  What
 # it must show depends on the machine:

@@ -49,7 +49,7 @@ type config = {
 let all_experiments =
   [ "table1"; "table2"; "table3"; "table4"; "fig4"; "fig5"; "fig6"; "fig7";
     "fig8"; "fig9"; "fig10"; "ablations"; "minimization"; "workload";
-    "cache" ]
+    "cache"; "admission" ]
 
 let parse_config () =
   let cfg =
@@ -814,6 +814,87 @@ let cache_experiment ctx =
     ];
   check ctx.dblp [ ("GCov", Rqa.Answering.Gcov) ]
 
+(* ---------- Admission: static-gate effectiveness ---------- *)
+
+type admission_run = {
+  a_label : string; (* "LUBM-S/postgres" *)
+  a_queries : int;
+  a_safe : int;
+  a_fails : int;
+  a_unknown : int;
+  a_skipped : int; (* reformulation too large to cost statically *)
+}
+
+(* Filled by [admission_experiment], written by [write_bench_json]. *)
+let admission_runs : admission_run list ref = ref []
+
+(* How much of each workload the static analyzer can decide before
+   execution, per engine profile, on the SCQ-cover JUCQ (the same
+   statement [rdfqa check --cost] admits).  Queries whose reformulation
+   is provably over the profile's union capacity are counted as skipped,
+   mirroring the CLI's RF001 skip. *)
+let admission_experiment ctx =
+  header "Admission: static cost verdicts per engine profile (SCQ covers)";
+  let module CV = Analysis.Cost_verify in
+  let check dsl =
+    let ds = Lazy.force dsl in
+    let reformulate = cached_reformulate ds in
+    List.iter
+      (fun (ename, sys) ->
+        let oracle =
+          Engine.Executor.cost_oracle (Rqa.Answering.engine sys)
+        in
+        let capacity = oracle.CV.max_union_terms in
+        let safe = ref 0
+        and fails = ref 0
+        and unknown = ref 0
+        and skipped = ref 0 in
+        List.iter
+          (fun (_qname, q) ->
+            let q = Bgp.normalize q in
+            let cover = Jucq.scq_cover q in
+            let too_large =
+              List.exists
+                (fun f ->
+                  Reformulation.Reformulate.count_product_bound
+                    ds.reformulator
+                    (Jucq.cover_query q cover f)
+                  > capacity)
+                cover
+            in
+            if too_large then incr skipped
+            else
+              match Jucq.make ~reformulate q cover with
+              | j -> (
+                  match CV.verdict oracle (CV.Jucq j) with
+                  | CV.Safe -> incr safe
+                  | CV.Fails -> incr fails
+                  | CV.Unknown -> incr unknown)
+              | exception Reformulation.Reformulate.Too_large _ ->
+                  incr skipped)
+          ds.queries;
+        let n = List.length ds.queries in
+        Printf.printf
+          "%-7s %-10s %2d queries | safe %2d | fails %2d | unknown %2d | \
+           skipped %2d\n%!"
+          ds.label ename n !safe !fails !unknown !skipped;
+        admission_runs :=
+          !admission_runs
+          @ [
+              {
+                a_label = ds.label ^ "/" ^ ename;
+                a_queries = n;
+                a_safe = !safe;
+                a_fails = !fails;
+                a_unknown = !unknown;
+                a_skipped = !skipped;
+              };
+            ])
+      (Lazy.force ds.systems)
+  in
+  check ctx.lubm_s;
+  check ctx.dblp
+
 (* ---------- Bechamel micro-benchmarks ---------- *)
 
 let read_file path =
@@ -889,6 +970,23 @@ let write_bench_json ~scale ~jobs ~scaling results =
              r.t3_hits r.t3_misses r.t1_hits r.t1_misses r.t2_hits r.t2_misses
              (if i = m - 1 then "" else ",")))
       !cache_runs;
+    Buffer.add_string buf "  }"
+  end;
+  if !admission_runs <> [] then begin
+    Buffer.add_string buf ",\n  \"admission\": {\n";
+    let m = List.length !admission_runs in
+    List.iteri
+      (fun i r ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "    %S: {\"queries\": %d, \"provably_safe\": %d, \
+              \"provably_fails\": %d, \"unknown\": %d, \"skipped\": %d, \
+              \"safe_fraction\": %.3f}%s\n"
+             r.a_label r.a_queries r.a_safe r.a_fails r.a_unknown r.a_skipped
+             (float_of_int r.a_safe
+             /. Float.max (float_of_int r.a_queries) 1.0)
+             (if i = m - 1 then "" else ",")))
+      !admission_runs;
     Buffer.add_string buf "  }"
   end;
   if Sys.file_exists "BENCH_engine_baseline.json" then begin
@@ -1082,5 +1180,6 @@ let () =
   run "minimization" minimization;
   run "workload" workload_driver;
   run "cache" cache_experiment;
+  run "admission" admission_experiment;
   if cfg.bechamel then bechamel_suite ctx;
   Printf.printf "\n[bench] done in %.1f s\n" ((now_ms () -. t0) /. 1000.0)

@@ -125,8 +125,12 @@ let resolve_query workload_query query_string query_file =
       | [ "lubm"; name ] -> Ok (Workloads.Lubm.query name, Some Workloads.Lubm.schema)
       | [ "dblp"; name ] -> Ok (Workloads.Dblp.query name, Some Workloads.Dblp.schema)
       | _ -> Error ("bad workload query (want lubm:QNN or dblp:QNN): " ^ wq))
-  | None, Some s, _ -> Ok (Query.Sparql.parse s, None)
-  | None, None, Some f -> Ok (Query.Sparql.parse (read_file f), None)
+  | None, Some s, _ -> (
+      try Ok (Query.Sparql.parse s, None)
+      with Invalid_argument m | Failure m -> Error ("bad query: " ^ m))
+  | None, None, Some f -> (
+      try Ok (Query.Sparql.parse (read_file f), None)
+      with Invalid_argument m | Failure m -> Error ("bad query: " ^ m))
   | None, None, None -> Error "one of --query, --query-file, --workload-query required"
 
 let load_store ?schema path =
@@ -749,6 +753,27 @@ let check_cmd =
       value & flag
       & info [ "codes" ] ~doc:"Print the diagnostic-code catalog and exit.")
   in
+  let cost =
+    Arg.(
+      value & flag
+      & info [ "cost" ]
+          ~doc:
+            "Also run the static cost analyzer: derive guaranteed \
+             $(i,[lo, hi]) operation intervals for each query's SCQ-cover \
+             plan against the engine profile (CB001/CB002/CB004/CB009), \
+             plus the parallel-safety lint of the morsel execution \
+             invariants (CB005-CB008).  Needs data: $(b,--data), or a \
+             workload (generated in-process at the CI trace scale).")
+  in
+  let budget =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "budget" ] ~docv:"N"
+          ~doc:
+            "Operation budget the cost analyzer admits against (default: \
+             the engine profile's max_operations).")
+  in
   let schema_of_data path =
     let g =
       if Filename.check_suffix path ".ttl" then Rdf.Turtle.load_file path
@@ -756,12 +781,14 @@ let check_cmd =
     in
     Rdf.Graph.schema g
   in
-  let run query_file workload wq qs data strict machine codes trace trace_out
-      jobs =
+  let run query_file workload wq qs data strict machine codes cost budget
+      profile trace trace_out jobs =
     apply_jobs jobs;
     if codes then
       List.iter
-        (fun (code, doc) -> Printf.printf "%s  %s\n" code doc)
+        (fun (code, doc) ->
+          if machine then Printf.printf "%s\t%s\n" code doc
+          else Printf.printf "%s  %s\n" code doc)
         Analysis.Diagnostic.catalog
     else begin
       let tracing = trace || trace_out <> None in
@@ -800,6 +827,110 @@ let check_cmd =
         Obs.Span.set sp "queries" (string_of_int (List.length reports));
         reports
       in
+      let cost_reports =
+        if not cost then []
+        else begin
+          let prefixed p s =
+            String.length s > String.length p
+            && String.sub s 0 (String.length p) = p
+          in
+          let queries, wkind =
+            match workload with
+            | Some `Lubm ->
+                ( List.map
+                    (fun (n, q) -> ("lubm:" ^ n, q))
+                    Workloads.Lubm.queries,
+                  Some `Lubm )
+            | Some `Dblp ->
+                ( List.map
+                    (fun (n, q) -> ("dblp:" ^ n, q))
+                    Workloads.Dblp.queries,
+                  Some `Dblp )
+            | None -> (
+                match resolve_query wq qs query_file with
+                | Error msg ->
+                    prerr_endline msg;
+                    exit 2
+                | Ok (q, _) ->
+                    let name =
+                      match (wq, query_file) with
+                      | Some w, _ -> w
+                      | None, Some f -> Filename.basename f
+                      | None, None -> "query"
+                    in
+                    let wkind =
+                      match wq with
+                      | Some s when prefixed "lubm:" s -> Some `Lubm
+                      | Some s when prefixed "dblp:" s -> Some `Dblp
+                      | _ -> None
+                    in
+                    ([ (name, q) ], wkind))
+          in
+          (* The analyzer's oracle reads real store counts, so --cost needs
+             data: an explicit file, or for workload queries the same
+             in-process dataset the CI trace leg uses. *)
+          let store =
+            match (data, wkind) with
+            | Some path, Some `Lubm ->
+                load_store ~schema:Workloads.Lubm.schema path
+            | Some path, Some `Dblp ->
+                load_store ~schema:Workloads.Dblp.schema path
+            | Some path, None -> load_store path
+            | None, Some `Lubm ->
+                Workloads.Lubm.generate { Workloads.Lubm.universities = 1 }
+            | None, Some `Dblp ->
+                Workloads.Dblp.generate { Workloads.Dblp.publications = 2000 }
+            | None, None ->
+                prerr_endline
+                  "rdfqa check --cost needs --data or a workload query";
+                exit 2
+          in
+          let sys = Rqa.Answering.make ~profile store in
+          let refm = Rqa.Answering.reformulator sys in
+          let oracle =
+            Engine.Executor.cost_oracle (Rqa.Answering.engine sys)
+          in
+          let capacity = profile.Engine.Profile.max_union_terms in
+          let skipped context =
+            [
+              Analysis.Diagnostic.info ~code:"RF001" ~context
+                "reformulation too large to cost statically (skipped)";
+            ]
+          in
+          let per_query (name, q) =
+            let q = Query.Bgp.normalize q in
+            let cover = Query.Jucq.scq_cover q in
+            let context = name ^ "/scq" in
+            let ds =
+              if
+                List.exists
+                  (fun f ->
+                    Reformulation.Reformulate.count_product_bound refm
+                      (Query.Jucq.cover_query q cover f)
+                    > capacity)
+                  cover
+              then skipped context
+              else
+                let reformulate cq =
+                  Reformulation.Reformulate.reformulate refm cq
+                in
+                match Query.Jucq.make ~reformulate q cover with
+                | j ->
+                    Analysis.Cost_verify.admission oracle ?budget ~context
+                      (Analysis.Cost_verify.Jucq j)
+                | exception Reformulation.Reformulate.Too_large _ ->
+                    skipped context
+            in
+            (name, ds)
+          in
+          List.map per_query queries
+          @ [
+              ( "parallel-safety",
+                Engine.Par_verify.lint ~context:"check/par" ~profile () );
+            ]
+        end
+      in
+      let reports = reports @ cost_reports in
       let all = List.concat_map snd reports in
       List.iter
         (fun (name, ds) ->
@@ -823,22 +954,29 @@ let check_cmd =
         if trace then print_trace_summary ();
         match trace_out with Some f -> write_trace_file f | None -> ()
       end;
-      let failing (d : Analysis.Diagnostic.t) =
-        Analysis.Diagnostic.is_error d
-        || (strict && d.Analysis.Diagnostic.severity = Analysis.Diagnostic.Warning)
-      in
-      if List.exists failing all then exit 1
+      (* Exit-code contract: 2 on any error diagnostic, 1 when --strict
+         promotes warnings, 0 on a clean (or info-only) report. *)
+      if List.exists Analysis.Diagnostic.is_error all then exit 2
+      else if
+        strict
+        && List.exists
+             (fun (d : Analysis.Diagnostic.t) ->
+               d.Analysis.Diagnostic.severity = Analysis.Diagnostic.Warning)
+             all
+      then exit 1
     end
   in
   Cmd.v
     (Cmd.info "check"
        ~doc:
          "Statically verify queries: semantic lint, Definition 3.3/3.4 cover \
-          checks and compiled-plan schema consistency — nothing is executed.")
+          checks, compiled-plan schema consistency and (with $(b,--cost)) \
+          static operation-cost admission — nothing is executed.  Exit \
+          codes: 0 clean, 1 warnings under $(b,--strict), 2 errors.")
     Term.(
       const run $ query_file_pos $ workload $ workload_query_arg
-      $ query_string_arg $ data $ strict $ machine $ codes $ trace_flag_arg
-      $ trace_out_arg $ jobs_arg)
+      $ query_string_arg $ data $ strict $ machine $ codes $ cost $ budget
+      $ engine_arg $ trace_flag_arg $ trace_out_arg $ jobs_arg)
 
 let () =
   let info =

@@ -11,6 +11,12 @@ let check_query ?schema ?reformulator ?(max_terms = 4096) ~name (q : Bgp.t) =
       covers
   in
   let plan_ds =
+    (* A cover that fails the Definition 3.3 checks cannot be built into a
+       JUCQ ([Jucq.make] would reject it); the cover diagnostics above
+       already carry the errors, so plan verification is skipped rather
+       than crashing the whole check run. *)
+    if Diagnostic.has_errors cover_ds then []
+    else
     let r =
       match reformulator with
       | Some r -> r

@@ -1,0 +1,92 @@
+(** Static cost analysis: abstract interpretation of the executor's
+    physical statement shapes, deriving guaranteed intervals on the
+    operation charges a statement incurs when run.
+
+    The analyzer sees the store only through an {!oracle} the engine
+    layer builds from its compiled plans, so this module stays free of
+    engine dependencies.  Every bound is sound with respect to the
+    executor's exact charge accounting: the traced [total_operations]
+    delta of a successful evaluation always lands inside [ops], and a
+    failed evaluation never charges more than [ops.hi].  Bounds saturate
+    at [max_int] rather than overflow. *)
+
+open Query
+
+(** A closed integer interval [\[lo, hi\]], [0 <= lo <= hi]. *)
+type interval = { lo : int; hi : int }
+
+val exact : int -> interval
+val zero : interval
+
+val sat_add : int -> int -> int
+(** Addition saturating at [max_int]; arguments must be non-negative. *)
+
+val sat_mul : int -> int -> int
+(** Multiplication saturating at [max_int]; arguments non-negative. *)
+
+val add : interval -> interval -> interval
+
+val string_of_bound : int -> string
+(** ["inf"] for a saturated bound, the decimal otherwise. *)
+
+val to_string : interval -> string
+
+(** What the engine knows statically about one atom of a compiled CQ
+    plan, in the planned join order: the store count of its constant
+    positions (exact at depth 0, a sound per-invocation ceiling deeper),
+    and whether its variable positions are pairwise distinct (then every
+    depth-0 candidate unifies). *)
+type atom_info = { atom_count : int; distinct_vars : bool }
+
+type cq_info =
+  | Unsat  (** a body constant is absent from the dictionary: no plan *)
+  | Atoms of atom_info array
+
+type join_algorithm = Hash | Block_nested_loop
+
+type oracle = {
+  cq_info : Bgp.t -> cq_info;
+  join : join_algorithm;
+  max_union_terms : int;
+  max_materialized_rows : int;
+  max_operations : int;
+}
+
+type statement = Cq of Bgp.t | Ucq of Ucq.t | Jucq of Jucq.t
+
+type estimate = {
+  ops : interval;  (** total operation charges of evaluating the statement *)
+  rows : interval;  (** pre-dedup emitted rows (CQ/UCQ) or joined rows (JUCQ) *)
+  refused : bool;
+      (** the union-capacity pre-check provably refuses before any charge *)
+}
+
+val estimate : oracle -> statement -> estimate
+
+type verdict = Safe | Fails | Unknown
+
+val verdict : oracle -> ?budget:int -> statement -> verdict
+(** [Safe]: upper bound fits the budget and no other static failure;
+    [Fails]: provably refused, over budget, or over the materialization
+    ceiling; [Unknown]: the interval straddles the budget.  [budget]
+    defaults to the oracle's [max_operations]. *)
+
+val admission : oracle -> ?budget:int -> context:string -> statement -> Diagnostic.t list
+(** The admission-gate diagnostics for one statement: CB001 (error, lower
+    bound over budget), CB002 (info, provably safe), CB003 (error,
+    materialization floor over the ceiling), CB004 (info, straddling),
+    CB009 (error, provably refused by union capacity). *)
+
+(** {1 Enablement}
+
+    A gate separate from {!Plan_verify}'s: cost admission changes when a
+    doomed statement fails (before execution instead of mid-execution),
+    so it must never be implied by [RDFQA_VERIFY].  Opt in with
+    [RDFQA_VERIFY_COST=1] or {!set_enabled}. *)
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+val check_exn : (unit -> Diagnostic.t list) -> unit
+(** When enabled, run the thunk and raise {!Plan_verify.Rejected} if any
+    diagnostic is an error.  No-op when disabled. *)

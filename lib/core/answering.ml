@@ -1,5 +1,6 @@
 open Query
 module Es = Store.Encoded_store
+module CV = Analysis.Cost_verify
 
 type strategy =
   | Saturation
@@ -128,6 +129,30 @@ let objective s q =
     | Paper_model -> Cost_model.jucq_cost s.cost
     | Engine_model -> Engine.Executor.explain_cost s.engine
   in
+  (* Static pre-filter (cost verification on): a candidate whose interval
+     analysis already proves a refusal or a budget overrun costs infinity
+     without ever running the exact cost model — cover search then skips
+     provably-doomed plans for free. *)
+  let jucq_cost =
+    if not (CV.enabled ()) then jucq_cost
+    else
+      let oracle = Engine.Executor.cost_oracle s.engine in
+      fun jucq ->
+        let e = CV.estimate oracle (CV.Jucq jucq) in
+        if e.CV.refused || e.CV.ops.CV.lo > oracle.CV.max_operations then
+          infinity
+        else jucq_cost jucq
+  in
+  let ucq_cost =
+    if not (CV.enabled ()) then Cost_model.ucq_cost s.cost
+    else
+      let oracle = Engine.Executor.cost_oracle s.engine in
+      fun ucq ->
+        let e = CV.estimate oracle (CV.Ucq ucq) in
+        if e.CV.refused || e.CV.ops.CV.lo > oracle.CV.max_operations then
+          infinity
+        else Cost_model.ucq_cost s.cost ucq
+  in
   let capacity =
     (Engine.Executor.profile s.engine).Engine.Profile.max_union_terms
   in
@@ -137,8 +162,7 @@ let objective s q =
   in
   let shared = Cache.tier2 s.cache ~scope:s.scope ~query_key:(query_key q) in
   Objective.create ~fragment_capacity ?shared ~reformulate ~jucq_cost
-    ~ucq_cost:(Cost_model.ucq_cost s.cost)
-    q
+    ~ucq_cost q
 
 type report = {
   answers : Engine.Relation.t;
@@ -198,6 +222,11 @@ let run_cover s strategy q cover ~covers_explored ~planning_start =
       Analysis.Plan_verify.verify_jucq ~query:q ~cover
         ~context:("answering/" ^ strategy_name strategy)
         jucq);
+  (* Static cost admission (RDFQA_VERIFY_COST): reject a statement the
+     interval analysis proves doomed before the engine charges anything. *)
+  Engine.Executor.admit
+    ~context:("answering/" ^ strategy_name strategy)
+    s.engine (CV.Jucq jucq);
   let estimated_cost =
     Obs.Span.with_ "plan.cost" @@ fun sp ->
     let c =

@@ -599,6 +599,55 @@ let ucq_plans t (u : Ucq.t) =
         Ucq_tbl.add t.ucq_plans u ps;
       ps
 
+(* ---- static cost oracle ----
+
+   Everything {!Analysis.Cost_verify} needs to know about this engine's
+   compiled plans, packaged store-agnostically: per atom of the planned
+   join order, the exact store count of its constant positions and
+   whether its variable positions are pairwise distinct.  Reads only the
+   plan caches and the store's count indexes — never charges. *)
+let static_cq_info t (q : Bgp.t) =
+  match plan_of t q with
+  | None -> Analysis.Cost_verify.Unsat
+  | Some p ->
+      let const_only = function K c -> c | V _ -> -1 in
+      Analysis.Cost_verify.Atoms
+        (Array.init (Array.length p.porder) (fun k ->
+             let a = p.pcq.atoms.(p.porder.(k)) in
+             let count =
+               Es.count_codes t.store ~s:(const_only a.es)
+                 ~p:(const_only a.ep) ~o:(const_only a.eo)
+             in
+             let vs =
+               List.filter_map
+                 (function V v -> Some v | K _ -> None)
+                 [ a.es; a.ep; a.eo ]
+             in
+             {
+               Analysis.Cost_verify.atom_count = count;
+               distinct_vars =
+                 List.length vs = List.length (List.sort_uniq Int.compare vs);
+             }))
+
+let cost_oracle t =
+  {
+    Analysis.Cost_verify.cq_info = static_cq_info t;
+    join =
+      (match t.profile.Profile.fragment_join with
+      | Profile.Hash_join -> Analysis.Cost_verify.Hash
+      | Profile.Block_nested_loop -> Analysis.Cost_verify.Block_nested_loop);
+    max_union_terms = t.profile.Profile.max_union_terms;
+    max_materialized_rows = t.profile.Profile.max_materialized_rows;
+    max_operations = t.profile.Profile.max_operations;
+  }
+
+(* The pre-execution admission gate: when cost verification is enabled
+   (RDFQA_VERIFY_COST / [Cost_verify.set_enabled]), statements whose
+   static analysis proves a failure are rejected before any charge. *)
+let admit ?budget ~context t stmt =
+  Analysis.Cost_verify.check_exn (fun () ->
+      Analysis.Cost_verify.admission (cost_oracle t) ?budget ~context stmt)
+
 (* Builds the [IndexScan] chain of a finished CQ pipeline under [parent]:
    the driving scan on top, each probed atom nested below it, estimated
    cardinalities from the greedy planner's own per-step scores. *)
@@ -655,6 +704,7 @@ let eval_cq t (q : Bgp.t) =
   begin_statement t;
   Analysis.Plan_verify.check_exn (fun () ->
       Analysis.Plan_verify.verify_cq ~context:"executor/cq" q);
+  admit ~context:"executor/cq" t (Analysis.Cost_verify.Cq q);
   Obs.Span.with_ "exec.cq" @@ fun sp ->
   let tr = Obs.enabled () in
   let out = Relation.create ~cols:(List.length q.Bgp.head) in
@@ -886,6 +936,7 @@ let eval_ucq t u =
   begin_statement t;
   Analysis.Plan_verify.check_exn (fun () ->
       Analysis.Plan_verify.verify_ucq ~context:"executor/ucq" u);
+  admit ~context:"executor/ucq" t (Analysis.Cost_verify.Ucq u);
   Obs.Span.with_ "exec.ucq" @@ fun sp ->
   let pool = Par.get () in
   let result, tree =
@@ -1246,6 +1297,7 @@ let eval_jucq t (j : Jucq.t) =
      statement, not silently produce wrong answers. *)
   Analysis.Plan_verify.check_exn (fun () ->
       Analysis.Plan_verify.verify_jucq ~context:"executor/jucq" j);
+  admit ~context:"executor/jucq" t (Analysis.Cost_verify.Jucq j);
   (* Pre-check the engine's union capacity over all fragments: an RDBMS
      parses the whole statement before executing any of it. *)
   List.iter

@@ -48,6 +48,27 @@ val last_op_stats : t -> Obs.Op_stats.t option
     populated only while {!Obs.enabled} tracing is on; [None] otherwise,
     and [None] for a statement that failed before its tree was built. *)
 
+val static_cq_info : t -> Query.Bgp.t -> Analysis.Cost_verify.cq_info
+(** What the static cost analyzer knows about this engine's compiled plan
+    for a CQ: per atom in planned join order, the exact store count of
+    its constant positions and whether its variable positions are
+    pairwise distinct.  [Unsat] when a body constant is absent from the
+    dictionary.  Reads plan caches and count indexes only; never
+    charges. *)
+
+val cost_oracle : t -> Analysis.Cost_verify.oracle
+(** The engine's profile limits and {!static_cq_info}, packaged for
+    {!Analysis.Cost_verify.estimate}/[admission]. *)
+
+val admit :
+  ?budget:int -> context:string -> t -> Analysis.Cost_verify.statement -> unit
+(** Pre-execution admission gate: when cost verification is enabled
+    ([RDFQA_VERIFY_COST=1] or {!Analysis.Cost_verify.set_enabled}),
+    statically analyze the statement and raise
+    {!Analysis.Plan_verify.Rejected} with the CB* diagnostics if it
+    provably fails — before any operation is charged.  No-op when
+    disabled.  Called by {!eval_cq}/{!eval_ucq}/{!eval_jucq}. *)
+
 val eval_cq : t -> Query.Bgp.t -> Relation.t
 (** Evaluates one CQ (no reasoning): one row per answer, one column per
     head position, values as dictionary codes.  Set semantics. *)

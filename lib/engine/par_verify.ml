@@ -1,0 +1,155 @@
+(* Static parallel-safety lint: checks the invariants the morsel-driven
+   operators rely on for the bit-identical contract — symbolically, on a
+   deterministic witness, without running a query.
+
+   The checked invariants (one CB code each):
+   - CB005  the morsel dispatch arithmetic tiles the scanned index range
+            [0, n) exactly: in-order, gap-free, overlap-free;
+   - CB006  the partition function maps every key into [0, parts) and is
+            a pure function of the key words (equal keys, equal part);
+   - CB007  partitioned duplicate elimination reproduces the sequential
+            first-occurrence order of [Relation.dedup];
+   - CB008  the charge-replay bookkeeping plans exactly one log per
+            dispatched morsel.
+
+   Every checked function is injectable so the mutation self-tests can
+   hand in a broken implementation and assert the exact diagnostic; the
+   defaults are the real implementations the executor uses. *)
+
+module D = Analysis.Diagnostic
+
+(* The executor's morsel dispatch arithmetic (exec_cq_morsel and the
+   partitioned join probe): morsel [m] covers [m*size, min n (m*size+size)). *)
+let default_ranges ~n ~morsel =
+  let nmorsels = if n <= 0 then 0 else (n + morsel - 1) / morsel in
+  Array.init nmorsels (fun m ->
+      let lo = m * morsel in
+      (lo, min n (lo + morsel)))
+
+(* One replay log per dispatched morsel. *)
+let default_log_count ~n ~morsel =
+  if n <= 0 then 0 else (n + morsel - 1) / morsel
+
+(* Deterministic witness rows: a fixed LCG, so every run lints the same
+   relation and the lint itself is reproducible. *)
+let witness_rows ~cols ~n =
+  let state = ref 0x2545F491 in
+  let next () =
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    !state
+  in
+  Array.init n (fun _ -> Array.init cols (fun _ -> next () mod 7))
+
+let witness_relation ~cols ~n =
+  let rel = Relation.create ~cols in
+  Array.iter (Relation.append rel) (witness_rows ~cols ~n);
+  rel
+
+let check_ranges ~ranges ~context ~sizes ~n =
+  List.concat_map
+    (fun morsel ->
+      let rs = ranges ~n ~morsel in
+      let bad = ref [] in
+      let expect_lo = ref 0 in
+      Array.iter
+        (fun (lo, hi) ->
+          if lo <> !expect_lo || hi <= lo || hi > n then
+            bad := (lo, hi) :: !bad;
+          expect_lo := hi)
+        rs;
+      if !expect_lo <> n then bad := (!expect_lo, n) :: !bad;
+      if !bad = [] then []
+      else
+        [
+          D.error ~code:"CB005" ~context
+            (Printf.sprintf
+               "morsel ranges do not partition [0, %d) at morsel size %d \
+                (first violation at [%d, %d))"
+               n morsel
+               (fst (List.hd (List.rev !bad)))
+               (snd (List.hd (List.rev !bad))));
+        ])
+    sizes
+
+let check_partition ~partition ~context ~parts_list ~keys =
+  List.concat_map
+    (fun parts ->
+      let out_of_range = ref None and impure = ref false in
+      Array.iter
+        (fun key ->
+          let width = Array.length key in
+          let p = partition ~width ~parts key 0 in
+          if p < 0 || p >= parts then out_of_range := Some (p, parts);
+          (* purity: the same key words at a different offset must land in
+             the same partition *)
+          let shifted = Array.append [| 0 |] key in
+          if partition ~width ~parts shifted 1 <> p then impure := true)
+        keys;
+      (match !out_of_range with
+      | Some (p, parts) ->
+          [
+            D.error ~code:"CB006" ~context
+              (Printf.sprintf
+                 "partition function mapped a key to %d, outside [0, %d)" p
+                 parts);
+          ]
+      | None -> [])
+      @
+      if !impure then
+        [
+          D.error ~code:"CB006" ~context
+            (Printf.sprintf
+               "partition function is not a pure function of the key words \
+                at parts=%d"
+               parts);
+        ]
+      else [])
+    parts_list
+
+let check_dedup ~dedup ~context ~sizes ~width rel =
+  let expected = Relation.to_list (Relation.dedup rel) in
+  let pool = Par.create ~jobs:width in
+  Fun.protect ~finally:(fun () -> Par.shutdown pool) @@ fun () ->
+  List.concat_map
+    (fun morsel ->
+      if Relation.to_list (dedup pool ~morsel rel) = expected then []
+      else
+        [
+          D.error ~code:"CB007" ~context
+            (Printf.sprintf
+               "partitioned dedup order differs from the sequential \
+                first-occurrence order at morsel size %d, jobs=%d"
+               morsel (Par.jobs pool));
+        ])
+    sizes
+
+let check_log_count ~ranges ~log_count ~context ~sizes ~n =
+  List.concat_map
+    (fun morsel ->
+      let dispatched = Array.length (ranges ~n ~morsel) in
+      let logs = log_count ~n ~morsel in
+      if logs = dispatched then []
+      else
+        [
+          D.error ~code:"CB008" ~context
+            (Printf.sprintf
+               "replay bookkeeping plans %d charge logs for %d dispatched \
+                morsels at morsel size %d"
+               logs dispatched morsel);
+        ])
+    sizes
+
+let lint ?(ranges = default_ranges) ?(partition = Morsel.partition_of)
+    ?(dedup = fun pool ~morsel rel -> Morsel.dedup pool ~morsel rel)
+    ?(log_count = default_log_count) ~context ~profile ?(width = 4) ?(n = 257)
+    () =
+  let sizes =
+    List.sort_uniq compare [ 1; 7; 64; Profile.morsel_size profile; max 1 n ]
+  in
+  let parts_list = List.sort_uniq compare [ 1; 3; max 1 width ] in
+  let keys = witness_rows ~cols:2 ~n:64 in
+  let rel = witness_relation ~cols:3 ~n in
+  check_ranges ~ranges ~context ~sizes ~n
+  @ check_partition ~partition ~context ~parts_list ~keys
+  @ check_dedup ~dedup ~context ~sizes ~width rel
+  @ check_log_count ~ranges ~log_count ~context ~sizes ~n

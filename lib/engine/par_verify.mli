@@ -1,0 +1,33 @@
+(** Static parallel-safety lint for the morsel-driven execution layer.
+
+    Symbolically checks, on a deterministic witness, the invariants the
+    bit-identical contract rests on: the morsel dispatch arithmetic tiles
+    the scanned range exactly (CB005), the partition function is a pure
+    map into [0, parts) (CB006), partitioned duplicate elimination
+    reproduces the sequential first-occurrence order (CB007), and the
+    charge-replay bookkeeping plans one log per dispatched morsel
+    (CB008).  All checked functions are injectable so mutation self-tests
+    can assert each diagnostic; the defaults are the real
+    implementations. *)
+
+val default_ranges : n:int -> morsel:int -> (int * int) array
+(** The executor's dispatch arithmetic: morsel [m] covers
+    [\[m*size, min n (m*size+size))]. *)
+
+val default_log_count : n:int -> morsel:int -> int
+
+val lint :
+  ?ranges:(n:int -> morsel:int -> (int * int) array) ->
+  ?partition:(width:int -> parts:int -> int array -> int -> int) ->
+  ?dedup:(Par.t -> morsel:int -> Relation.t -> Relation.t) ->
+  ?log_count:(n:int -> morsel:int -> int) ->
+  context:string ->
+  profile:Profile.t ->
+  ?width:int ->
+  ?n:int ->
+  unit ->
+  Analysis.Diagnostic.t list
+(** Run all four checks over morsel sizes [{1, 7, 64, profile's,
+    n}] and partition counts [{1, 3, width}] on an [n]-row witness
+    relation (defaults: [width = 4], [n = 257]).  Returns the CB005–CB008
+    error diagnostics, empty when every invariant holds. *)

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Regenerate the README's diagnostic-code catalog from its single source
+# of truth, `rdfqa check --codes --machine` (lib/analysis/diagnostic.ml).
+# CI reruns this and fails on `git diff` drift, so the published table
+# can never fall behind the code.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+README=README.md
+BEGIN='<!-- codes:begin -->'
+END='<!-- codes:end -->'
+
+grep -qF "$BEGIN" "$README" && grep -qF "$END" "$README" || {
+  echo "gen_codes: $README is missing the $BEGIN / $END markers" >&2
+  exit 2
+}
+
+dune build bin/rdfqa.exe
+
+table=$(./_build/default/bin/rdfqa.exe check --codes --machine |
+  awk -F'\t' 'BEGIN {
+      print "| code | meaning |"
+      print "|---|---|"
+    }
+    { printf "| `%s` | %s |\n", $1, $2 }')
+
+awk -v begin="$BEGIN" -v end="$END" -v table="$table" '
+  $0 == begin { print; print table; skipping = 1; next }
+  $0 == end   { skipping = 0 }
+  !skipping   { print }
+' "$README" > "$README.tmp"
+mv "$README.tmp" "$README"
+echo "gen_codes: refreshed the diagnostic catalog in $README"

@@ -277,6 +277,91 @@ let test_trace_jobs () =
   Alcotest.(check bool) "validator summary" true (contains vbody "OK:");
   Alcotest.(check bool) "meta line records jobs" true meta_jobs
 
+(* ---- check: exit-code contract and static cost analysis ----
+
+   The documented contract: 0 clean (infos allowed), 1 warnings promoted
+   by --strict, 2 error diagnostics. *)
+
+let write_query content =
+  let path = Filename.temp_file "rqa_cli" ".rq" in
+  let oc = open_out path in
+  output_string oc content;
+  close_out oc;
+  path
+
+let test_check_exit_clean () =
+  let q = write_query "SELECT ?x WHERE { ?x <http://ex/p> ?y }" in
+  let code, body = run_capture (Printf.sprintf "check %s --strict" q) in
+  Sys.remove q;
+  Alcotest.(check int) "clean query exits 0 even under --strict" 0 code;
+  Alcotest.(check bool) "reported clean" true (contains body "clean")
+
+let test_check_exit_strict_warning () =
+  (* a property the data's schema does not declare: QL004, a warning *)
+  let data = Lazy.force data_file in
+  let q = write_query "SELECT ?x WHERE { ?x <http://ex/p> ?y }" in
+  let lax, _ = run_capture (Printf.sprintf "check %s -d %s" q data) in
+  let strict, body =
+    run_capture (Printf.sprintf "check %s -d %s --strict" q data)
+  in
+  Sys.remove q;
+  Alcotest.(check int) "warnings alone exit 0" 0 lax;
+  Alcotest.(check int) "warnings exit 1 under --strict" 1 strict;
+  Alcotest.(check bool) "QL004 reported" true (contains body "QL004")
+
+let test_check_exit_error () =
+  (* disconnected join graph: the covers violate Definition 3.3 (CV006 /
+     CV007 errors) on top of the QL002 lint warning *)
+  let q =
+    write_query
+      "SELECT ?x ?y WHERE { ?x <http://ex/p> ?a . ?y <http://ex/q> ?b }"
+  in
+  let code, body = run_capture (Printf.sprintf "check %s" q) in
+  Sys.remove q;
+  Alcotest.(check int) "errors exit 2" 2 code;
+  Alcotest.(check bool) "cover errors reported" true
+    (contains body "CV006" || contains body "CV007");
+  Alcotest.(check bool) "lint warning reported too" true
+    (contains body "QL002")
+
+let test_check_unparseable_query () =
+  (* the parser refuses a head variable absent from the body *)
+  let q = write_query "SELECT ?z WHERE { ?x <http://ex/p> ?y }" in
+  let code, body = run_capture (Printf.sprintf "check %s" q) in
+  Sys.remove q;
+  Alcotest.(check int) "bad query exits 2, not a crash" 2 code;
+  Alcotest.(check bool) "parse failure reported" true
+    (contains body "bad query")
+
+let test_check_cost () =
+  let code, body = run_capture "check -w lubm --cost --strict" in
+  Alcotest.(check int) "cost check over LUBM exits 0" 0 code;
+  Alcotest.(check bool) "operation intervals reported" true
+    (contains body "static operation interval");
+  Alcotest.(check bool) "verdict codes present" true
+    (contains body "CB002" || contains body "CB004");
+  Alcotest.(check bool) "parallel-safety lint ran clean" true
+    (contains body "parallel-safety: clean")
+
+let test_check_cost_budget () =
+  (* an absurdly small budget makes every plan provably over budget *)
+  let code, body =
+    run_capture "check -w lubm --cost --budget 1 --machine"
+  in
+  Alcotest.(check int) "provable failures exit 2" 2 code;
+  Alcotest.(check bool) "CB001 reported" true (contains body "CB001")
+
+let test_check_codes_machine () =
+  let code, body = run_capture "check --codes --machine" in
+  Alcotest.(check int) "exit code" 0 code;
+  Alcotest.(check bool) "tab-separated code lines" true
+    (contains body "CB001\t" && contains body "QL001\t");
+  Alcotest.(check bool) "all CB codes present" true
+    (List.for_all
+       (fun c -> contains body c)
+       [ "CB001"; "CB002"; "CB003"; "CB004"; "CB005"; "CB006"; "CB007";
+         "CB008"; "CB009" ])
+
 let test_bad_arguments () =
   let code, _ = run_capture "query --workload-query lubm:Q01" in
   Alcotest.(check bool) "missing --data rejected" true (code <> 0);
@@ -305,6 +390,19 @@ let () =
           Alcotest.test_case "trace workload calibration" `Quick
             test_trace_workload_calibration;
           Alcotest.test_case "check --trace-out" `Quick test_check_trace_out;
+          Alcotest.test_case "check exit code 0 (clean)" `Quick
+            test_check_exit_clean;
+          Alcotest.test_case "check exit code 1 (strict warnings)" `Quick
+            test_check_exit_strict_warning;
+          Alcotest.test_case "check exit code 2 (errors)" `Quick
+            test_check_exit_error;
+          Alcotest.test_case "check rejects unparseable query" `Quick
+            test_check_unparseable_query;
+          Alcotest.test_case "check --cost" `Quick test_check_cost;
+          Alcotest.test_case "check --cost --budget" `Quick
+            test_check_cost_budget;
+          Alcotest.test_case "check --codes --machine" `Quick
+            test_check_codes_machine;
           Alcotest.test_case "query --jobs deterministic" `Quick
             test_query_jobs_deterministic;
           Alcotest.test_case "trace --jobs 4" `Quick test_trace_jobs;
