@@ -109,6 +109,61 @@ else
   echo "check_regression: no admission section, skipping admission gate"
 fi
 
+# --- history drift (warn-only) ----------------------------------------------
+# Compare the current run against the median of bench/history.jsonl entries
+# at the same scale: per-bench ns_seq and per-workload latency p99.  The
+# committed baseline above is a hard tripwire against one pinned snapshot;
+# this watches slow drift across many runs — and only WARNS, because
+# history is accumulated on heterogeneous CI machines.
+HISTORY=${HISTORY_FILE:-bench/history.jsonl}
+DRIFT_THRESHOLD=${DRIFT_THRESHOLD:-1.25}
+
+if [ -f "$HISTORY" ] && [ -s "$HISTORY" ]; then
+  drift_rows=$(jq -r --slurpfile hist "$HISTORY" --argjson thr "$DRIFT_THRESHOLD" '
+    def median: sort | if length == 0 then null else .[(length - 1) / 2 | floor] end;
+    . as $cur
+    | [$hist[] | select(.scale == $cur.scale)] as $h
+    | ($cur.results | keys | sort | .[]) as $name
+    | ([$h[] | .benches[$name].ns_seq? // empty] | median) as $med
+    | select($med != null and $med > 0)
+    | ($cur.results[$name].ns_seq / $med) as $r
+    | "\($name)|\($cur.results[$name].ns_seq)|\($med)|\($r * 100 | round / 100)x|" +
+      (if $r > $thr then "DRIFT" else "ok" end)
+  ' "$CURRENT")
+
+  lat_rows=$(jq -r --slurpfile hist "$HISTORY" --argjson thr "$DRIFT_THRESHOLD" '
+    def median: sort | if length == 0 then null else .[(length - 1) / 2 | floor] end;
+    . as $cur
+    | [$hist[] | select(.scale == $cur.scale)] as $h
+    | (($cur.latency // {}) | keys | sort | .[]) as $l
+    | ([$h[] | .latency[$l].p99_ms? // empty] | median) as $med
+    | select($med != null and $med > 0)
+    | ($cur.latency[$l].p99_ms / $med) as $r
+    | "\($l) p99|\($cur.latency[$l].p99_ms)|\($med)|\($r * 100 | round / 100)x|" +
+      (if $r > $thr then "DRIFT" else "ok" end)
+  ' "$CURRENT")
+
+  all_rows=$(printf '%s\n%s\n' "$drift_rows" "$lat_rows" | sed '/^$/d')
+  if [ -n "$all_rows" ]; then
+    {
+      echo ""
+      echo "## History drift (vs median of $HISTORY at scale $(jq -r .scale "$CURRENT"), warn at ${DRIFT_THRESHOLD}x)"
+      echo ""
+      echo "| metric | current | history median | ratio | verdict |"
+      echo "|---|---|---|---|---|"
+      echo "$all_rows" | awk -F'|' '{printf "| %s | %s | %s | %s | %s |\n", $1, $2, $3, $4, $5}'
+    } >> "$SUMMARY"
+    if echo "$all_rows" | grep -q 'DRIFT$'; then
+      echo "check_regression: WARNING — drift past ${DRIFT_THRESHOLD}x of the history median (not failing):" >&2
+      echo "$all_rows" | grep 'DRIFT$' >&2
+    else
+      echo "check_regression: history drift ok ($(echo "$all_rows" | wc -l) metrics within ${DRIFT_THRESHOLD}x of median)"
+    fi
+  fi
+else
+  echo "check_regression: no $HISTORY, skipping drift check"
+fi
+
 # --- scaling gate -----------------------------------------------------------
 # The "scaling" section holds ns/run per requested jobs level {1,2,4}.  What
 # it must show depends on the machine:

@@ -191,12 +191,12 @@ let apply_jobs jobs =
 let chrome_file f =
   Filename.check_suffix f ".trace" || Filename.check_suffix f ".chrome.json"
 
-let write_trace_file ?query ?ops file =
+let write_trace_file ?query ?ops ?store_bytes file =
   let events = Obs.events () in
   let oc = open_out file in
   (if chrome_file file then output_string oc (Obs.Export.chrome events)
    else begin
-     output_string oc (Obs.Export.meta_line ());
+     output_string oc (Obs.Export.meta_line ?store_bytes ());
      output_char oc '\n';
      output_string oc
        (Obs.Export.jsonl ?query ?ops ~events ~estimates:(Obs.estimates ())
@@ -353,9 +353,24 @@ let query_cmd =
             "Answer the query N times through the cache (per-pass timings \
              are printed; warm passes hit the answer tier).")
   in
+  let metrics_arg =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:
+            "Record process-level metrics (cache tiers, pool, store, \
+             engine, latency histogram) and print the registry after the \
+             run.  Charge totals are unaffected.")
+  in
   let run data wq qs qf strategy profile show_cover limit cache_mode insert
-      delete repeat trace trace_out jobs =
+      delete repeat trace trace_out metrics jobs =
     apply_jobs jobs;
+    if metrics then begin
+      Metrics.install_gc_samplers ();
+      Metrics.set_enabled true;
+      (* refresh the pool gauges now that recording is on *)
+      ignore (Par.get ())
+    end;
     match resolve_query wq qs qf with
     | Error msg -> prerr_endline msg; exit 2
     | Ok (q, schema) -> (
@@ -371,13 +386,34 @@ let query_cmd =
         end;
         let qname = match wq with Some w -> w | None -> "query" in
         let t0 = now_ms () in
+        (* Every pass (the cold one included) lands in a local latency
+           histogram, so --repeat reports warm-path quantiles instead of a
+           scroll of per-pass lines. *)
+        let lat = Metrics.Histogram.create () in
         match
-          let report = ref (Rqa.Answering.answer sys strategy q) in
+          let report =
+            ref
+              (let t = now_ms () in
+               let r = Rqa.Answering.answer sys strategy q in
+               Metrics.Histogram.observe lat (now_ms () -. t);
+               r)
+          in
           for pass = 2 to repeat do
             let t = now_ms () in
             report := Rqa.Answering.answer sys strategy q;
-            Printf.printf "-- pass %d: %.2f ms\n" pass (now_ms () -. t)
+            let ms = now_ms () -. t in
+            Metrics.Histogram.observe lat ms;
+            Printf.printf "-- pass %d: %.2f ms\n" pass ms
           done;
+          if repeat > 1 then
+            Printf.printf
+              "-- repeat: %d passes, p50 %.2f ms, p90 %.2f ms, p99 %.2f ms, \
+               max %.2f ms\n"
+              (Metrics.Histogram.count lat)
+              (Metrics.Histogram.quantile lat 0.50)
+              (Metrics.Histogram.quantile lat 0.90)
+              (Metrics.Histogram.quantile lat 0.99)
+              (Metrics.Histogram.max_value lat);
           !report
         with
         | report ->
@@ -413,6 +449,11 @@ let query_cmd =
             | true, Some cover ->
                 Printf.printf "-- cover: %s\n" (Query.Jucq.cover_to_string cover)
             | _ -> ());
+            if metrics then begin
+              Store.Encoded_store.observe_metrics store;
+              print_string "-- metrics:\n";
+              print_string (Metrics.to_text ())
+            end;
             if tracing then begin
               Obs.set_enabled false;
               if trace then begin
@@ -422,7 +463,8 @@ let query_cmd =
               match trace_out with
               | Some f ->
                   write_trace_file ~query:qname
-                    ?ops:(Engine.Executor.last_op_stats ex) f
+                    ?ops:(Engine.Executor.last_op_stats ex)
+                    ~store_bytes:(Store.Encoded_store.approx_bytes store) f
               | None -> ()
             end
         | exception Engine.Profile.Engine_failure { engine; reason } ->
@@ -432,7 +474,9 @@ let query_cmd =
               Obs.set_enabled false;
               if trace then print_trace_summary ();
               match trace_out with
-              | Some f -> write_trace_file ~query:qname f
+              | Some f ->
+                  write_trace_file ~query:qname
+                    ~store_bytes:(Store.Encoded_store.approx_bytes store) f
               | None -> ()
             end;
             exit 1)
@@ -443,7 +487,7 @@ let query_cmd =
       const run $ data_arg $ workload_query_arg $ query_string_arg
       $ query_file_arg $ strategy_arg $ engine_arg $ show_cover $ limit
       $ cache_mode_arg $ insert_arg $ delete_arg $ repeat_arg
-      $ trace_flag_arg $ trace_out_arg $ jobs_arg)
+      $ trace_flag_arg $ trace_out_arg $ metrics_arg $ jobs_arg)
 
 (* ---------- reformulate ---------- *)
 
@@ -637,7 +681,9 @@ let trace_cmd =
     apply_cache_mode sys cache_mode;
     let single = List.length queries = 1 in
     let jsonl_buf = Buffer.create 4096 in
-    Buffer.add_string jsonl_buf (Obs.Export.meta_line ());
+    Buffer.add_string jsonl_buf
+      (Obs.Export.meta_line
+         ~store_bytes:(Store.Encoded_store.approx_bytes store) ());
     Buffer.add_char jsonl_buf '\n';
     let all_events = ref [] in
     let all_estimates = ref [] in
@@ -978,6 +1024,141 @@ let check_cmd =
       $ query_string_arg $ data $ strict $ machine $ codes $ cost $ budget
       $ engine_arg $ trace_flag_arg $ trace_out_arg $ jobs_arg)
 
+(* ---------- stats ---------- *)
+
+let stats_cmd =
+  let workload =
+    Arg.(
+      value
+      & opt (enum [ ("lubm", `Lubm); ("dblp", `Dblp) ]) `Lubm
+      & info [ "w"; "workload" ] ~docv:"WORKLOAD"
+          ~doc:"Workload whose evaluation queries drive the metrics run.")
+  in
+  let data =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "d"; "data" ] ~docv:"FILE"
+          ~doc:
+            "Data file to load (default: the same in-process dataset the \
+             CI trace leg generates for the workload).")
+  in
+  let repeat =
+    Arg.(
+      value & opt int 3
+      & info [ "repeat" ] ~docv:"N"
+          ~doc:
+            "Answer each workload query N times, so the latency histogram \
+             sees cold and warm passes.")
+  in
+  let prom_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "prom" ] ~docv:"FILE"
+          ~doc:"Write the registry in Prometheus text exposition format.")
+  in
+  let json_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the registry as a JSONL snapshot (schema: lib/metrics/metrics.mli).")
+  in
+  let run wl data strategy profile cache_mode repeat prom_out json_out jobs =
+    Metrics.install_gc_samplers ();
+    Metrics.set_enabled true;
+    apply_jobs jobs;
+    ignore (Par.get ());
+    let strategy = to_strategy strategy in
+    let store =
+      match (data, wl) with
+      | Some path, `Lubm -> load_store ~schema:Workloads.Lubm.schema path
+      | Some path, `Dblp -> load_store ~schema:Workloads.Dblp.schema path
+      | None, `Lubm ->
+          Workloads.Lubm.generate { Workloads.Lubm.universities = 1 }
+      | None, `Dblp ->
+          Workloads.Dblp.generate { Workloads.Dblp.publications = 2000 }
+    in
+    let queries =
+      match wl with
+      | `Lubm -> List.map (fun (n, q) -> ("lubm:" ^ n, q)) Workloads.Lubm.queries
+      | `Dblp -> List.map (fun (n, q) -> ("dblp:" ^ n, q)) Workloads.Dblp.queries
+    in
+    let sys = Rqa.Answering.make ~profile store in
+    apply_cache_mode sys cache_mode;
+    let oracle = Engine.Executor.cost_oracle (Rqa.Answering.engine sys) in
+    let capacity = oracle.Analysis.Cost_verify.max_union_terms in
+    let refm = Rqa.Answering.reformulator sys in
+    let failures = ref 0 in
+    List.iter
+      (fun (_name, q) ->
+        let q = Query.Bgp.normalize q in
+        (* Feed the admission tallies the same statement check --cost
+           admits (the SCQ-cover JUCQ), skipping reformulations that are
+           provably over the profile's union capacity, then answer the
+           query through the cache so every tier and the latency histogram
+           see real traffic.  Verdicts never gate execution here. *)
+        let cover = Query.Jucq.scq_cover q in
+        let too_large =
+          List.exists
+            (fun f ->
+              Reformulation.Reformulate.count_product_bound refm
+                (Query.Jucq.cover_query q cover f)
+              > capacity)
+            cover
+        in
+        (if not too_large then
+           let reformulate cq =
+             Reformulation.Reformulate.reformulate refm cq
+           in
+           match Query.Jucq.make ~reformulate q cover with
+           | j ->
+               ignore
+                 (Analysis.Cost_verify.verdict oracle
+                    (Analysis.Cost_verify.Jucq j))
+           | exception Reformulation.Reformulate.Too_large _ -> ());
+        for _pass = 1 to max 1 repeat do
+          match Rqa.Answering.answer sys strategy q with
+          | (_ : Rqa.Answering.report) -> ()
+          | exception Engine.Profile.Engine_failure _ -> incr failures
+        done)
+      queries;
+    Store.Encoded_store.observe_metrics store;
+    (match prom_out with
+    | Some f ->
+        let oc = open_out f in
+        output_string oc (Metrics.to_prometheus ());
+        close_out oc;
+        Printf.printf "-- prometheus exposition written to %s\n" f
+    | None -> ());
+    (match json_out with
+    | Some f ->
+        let oc = open_out f in
+        output_string oc (Metrics.to_jsonl ());
+        close_out oc;
+        Printf.printf "-- jsonl snapshot written to %s\n" f
+    | None -> ());
+    Printf.printf "-- %d queries x %d passes (%s, %s)%s\n" (List.length queries)
+      (max 1 repeat)
+      (Rqa.Answering.strategy_name strategy)
+      profile.Engine.Profile.name
+      (if !failures > 0 then Printf.sprintf "; %d engine failures" !failures
+       else "");
+    print_string (Metrics.to_text ())
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Run a workload with process-level metrics on and report the \
+          registry: cache tiers, domain pool, store, admission verdicts, \
+          GC gauges and the end-to-end latency histogram, exportable as \
+          Prometheus text exposition ($(b,--prom)) or a JSONL snapshot \
+          ($(b,--json)).")
+    Term.(
+      const run $ workload $ data $ strategy_arg $ engine_arg
+      $ cache_mode_arg $ repeat $ prom_out $ json_out $ jobs_arg)
+
 let () =
   let info =
     Cmd.info "rdfqa" ~version:"1.0"
@@ -989,5 +1170,5 @@ let () =
        (Cmd.group info
           [
             generate_cmd; query_cmd; reformulate_cmd; explain_cmd; sql_cmd;
-            check_cmd; trace_cmd;
+            check_cmd; trace_cmd; stats_cmd;
           ]))

@@ -245,18 +245,33 @@ let materialization_floors o = function
 
 type verdict = Safe | Fails | Unknown
 
+(* Process-level verdict tallies (lib/metrics): every admission decision in
+   the process, whichever caller asked for it. *)
+let m_safe =
+  Metrics.counter "admission.safe" ~help:"Statements proven within budget"
+let m_fails =
+  Metrics.counter "admission.fails" ~help:"Statements proven doomed pre-execution"
+let m_unknown =
+  Metrics.counter "admission.unknown" ~help:"Statements the interval analysis cannot decide"
+
 let verdict o ?budget stmt =
   let budget = match budget with Some b -> b | None -> o.max_operations in
   let e = estimate o stmt in
-  if e.refused then Fails
-  else if e.ops.lo > budget then Fails
-  else if
-    List.exists
-      (fun (_, floor) -> floor > o.max_materialized_rows)
-      (materialization_floors o stmt)
-  then Fails
-  else if e.ops.hi <= budget then Safe
-  else Unknown
+  let v =
+    if e.refused then Fails
+    else if e.ops.lo > budget then Fails
+    else if
+      List.exists
+        (fun (_, floor) -> floor > o.max_materialized_rows)
+        (materialization_floors o stmt)
+    then Fails
+    else if e.ops.hi <= budget then Safe
+    else Unknown
+  in
+  Metrics.add
+    (match v with Safe -> m_safe | Fails -> m_fails | Unknown -> m_unknown)
+    1;
+  v
 
 let statement_name = function
   | Cq _ -> "CQ"

@@ -52,6 +52,23 @@ type counters = {
 
 let fresh_counters () = { hits = 0; misses = 0; evictions = 0 }
 
+(* Process-level tier counters (lib/metrics): the per-instance [counters]
+   above back {!stats}; these accumulate across every cache in the process
+   and mirror the per-query [Obs.count] calls below one-for-one. *)
+let m_ref_hits = Metrics.counter "cache.reformulation.hits"
+let m_ref_misses = Metrics.counter "cache.reformulation.misses"
+let m_ref_evictions = Metrics.counter "cache.reformulation.evictions"
+let m_cov_hits = Metrics.counter "cache.cover.hits"
+let m_cov_misses = Metrics.counter "cache.cover.misses"
+let m_cov_evictions = Metrics.counter "cache.cover.evictions"
+let m_ans_hits = Metrics.counter "cache.answer.hits"
+let m_ans_misses = Metrics.counter "cache.answer.misses"
+let m_ans_evictions = Metrics.counter "cache.answer.evictions"
+let g_ans_entries =
+  Metrics.gauge "cache.answer.entries" ~help:"Answer-cache resident entries"
+let g_ans_bytes =
+  Metrics.gauge "cache.answer.bytes" ~help:"Answer-cache resident bytes"
+
 type t = {
   store : Es.t;
   max_terms : int option;
@@ -124,6 +141,7 @@ let flush_tier2 t =
   in
   if n > 0 then begin
     t.c2.evictions <- t.c2.evictions + n;
+    Metrics.add m_cov_evictions n;
     Obs.count "cache.cover.invalidate" n;
     Hashtbl.reset t.t2_jucq;
     Hashtbl.reset t.t2_cost;
@@ -134,6 +152,7 @@ let flush_tier3 t =
   let n = Lru.length t.t3 in
   if n > 0 then begin
     t.c3.evictions <- t.c3.evictions + n;
+    Metrics.add m_ans_evictions n;
     Obs.count "cache.answer.invalidate" n;
     Lru.clear t.t3
   end
@@ -148,6 +167,7 @@ let revalidate t =
     let n = Hashtbl.length t.t1 in
     if n > 0 then begin
       t.c1.evictions <- t.c1.evictions + n;
+      Metrics.add m_ref_evictions n;
       Obs.count "cache.reformulation.invalidate" n
     end;
     Hashtbl.reset t.t1;
@@ -190,10 +210,12 @@ let reformulate t q =
         match Hashtbl.find_opt t.t1 key with
         | Some u ->
             t.c1.hits <- t.c1.hits + 1;
+            Metrics.add m_ref_hits 1;
             Obs.count "cache.reformulation.hit" 1;
             `Hit u
         | None ->
             t.c1.misses <- t.c1.misses + 1;
+            Metrics.add m_ref_misses 1;
             Obs.count "cache.reformulation.miss" 1;
             `Miss (t.reformulator, t.generation)
       in
@@ -232,10 +254,12 @@ let t2_probe (h : tier2) counter_name tbl key =
   match Hashtbl.find_opt tbl (h.prefix ^ key) with
   | Some v ->
       t.c2.hits <- t.c2.hits + 1;
+      Metrics.add m_cov_hits 1;
       Obs.count (counter_name ^ ".hit") 1;
       Some v
   | None ->
       t.c2.misses <- t.c2.misses + 1;
+      Metrics.add m_cov_misses 1;
       Obs.count (counter_name ^ ".miss") 1;
       None
 
@@ -286,10 +310,12 @@ let find_answer t key =
       match Lru.find t.t3 key with
       | Some e ->
           t.c3.hits <- t.c3.hits + 1;
+          Metrics.add m_ans_hits 1;
           Obs.count "cache.answer.hit" 1;
           Some e
       | None ->
           t.c3.misses <- t.c3.misses + 1;
+          Metrics.add m_ans_misses 1;
           Obs.count "cache.answer.miss" 1;
           None)
 
@@ -302,7 +328,12 @@ let add_answer t key e =
       let before = Lru.evictions t.t3 in
       Lru.add t.t3 key ~bytes:(entry_bytes e) e;
       let evicted = Lru.evictions t.t3 - before in
-      if evicted > 0 then Obs.count "cache.answer.evict" evicted
+      if evicted > 0 then begin
+        Metrics.add m_ans_evictions evicted;
+        Obs.count "cache.answer.evict" evicted
+      end;
+      Metrics.set_gauge g_ans_entries (float_of_int (Lru.length t.t3));
+      Metrics.set_gauge g_ans_bytes (float_of_int (Lru.bytes t.t3))
 
 (* ---- stats ---- *)
 

@@ -291,14 +291,29 @@ let answer_uncached s strategy q =
       run_cover s strategy q result.Gcov.cover
         ~covers_explored:result.Gcov.explored ~planning_start
 
+(* Process-level query metrics (lib/metrics): end-to-end latency of every
+   [answer] call (cache hits included — a served query is a served query),
+   split into answered/failed totals. *)
+let h_latency =
+  Metrics.histogram "query.latency_ms"
+    ~help:"End-to-end answer latency in milliseconds"
+let m_answered = Metrics.counter "query.answered" ~help:"Queries answered"
+let m_failed =
+  Metrics.counter "query.failed" ~help:"Queries aborted by an engine failure"
+
 let answer s strategy q =
   Obs.Span.with_ "answer" ~attrs:[ ("strategy", strategy_name strategy) ]
   @@ fun _sp ->
   let q = Bgp.normalize q in
   let start = now_ms () in
-  let key =
-    String.concat "\x00" [ s.scope; strategy_key strategy; query_key q ]
+  let observe outcome =
+    Metrics.observe h_latency (now_ms () -. start);
+    Metrics.add outcome 1
   in
+  match
+    (let key =
+       String.concat "\x00" [ s.scope; strategy_key strategy; query_key q ]
+     in
   match Cache.find_answer s.cache key with
   | Some (e : Cache.answer_entry) ->
       (* a hit replays the stored plan metadata — the same cover, sizes
@@ -327,7 +342,14 @@ let answer s strategy q =
           estimated_cost = r.estimated_cost;
           covers_explored = r.covers_explored;
         };
+      r)
+  with
+  | r ->
+      observe m_answered;
       r
+  | exception e ->
+      observe m_failed;
+      raise e
 
 let answer_terms s strategy q =
   let report = answer s strategy q in

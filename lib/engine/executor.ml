@@ -91,6 +91,18 @@ let total_operations t = t.total_ops
 let statements_run t = t.statements
 let last_op_stats t = t.last_stats
 
+(* Process-level totals (lib/metrics), accumulated across every executor in
+   the process.  They observe the same events as [ops]/[total_ops] but are
+   never read back by the engine: charging, budget checks and the op trees
+   depend only on the mutable fields, so totals stay bit-identical whether
+   metrics are on or off (tested in test_metrics.ml). *)
+let m_operations =
+  Metrics.counter "engine.operations" ~help:"Charged engine operations"
+let m_statements =
+  Metrics.counter "engine.statements" ~help:"Statements started (incl. failed)"
+let m_failures =
+  Metrics.counter "engine.failures" ~help:"Statements aborted by an engine-profile budget"
+
 (* Statement prologue: reset the per-statement meter, bump the monotonic
    counters, drop the previous statement's op tree.  Charging below feeds
    [total_ops] too, so the cumulative count stays exact even when a
@@ -98,14 +110,17 @@ let last_op_stats t = t.last_stats
 let begin_statement t =
   t.ops <- 0;
   t.statements <- t.statements + 1;
+  Metrics.add m_statements 1;
   t.last_stats <- None
 
 let fail t reason =
+  Metrics.add m_failures 1;
   raise (Profile.Engine_failure { engine = t.profile.Profile.name; reason })
 
 let charge t n =
   t.ops <- t.ops + n;
   t.total_ops <- t.total_ops + n;
+  Metrics.add m_operations n;
   if t.ops > t.profile.Profile.max_operations then
     fail t (Profile.Operation_budget { limit = t.profile.Profile.max_operations })
 

@@ -31,10 +31,13 @@ let attrs_obj attrs =
          attrs)
   ^ "}"
 
-let meta_line () =
+let meta_line ?(store_bytes = -1) () =
+  let gc = Gc.quick_stat () in
   Printf.sprintf
-    "{\"type\":\"meta\",\"schema\":1,\"generator\":\"rdfqa\",\"jobs\":%d,\"effective_jobs\":%d}"
+    "{\"type\":\"meta\",\"schema\":1,\"generator\":\"rdfqa\",\"jobs\":%d,\"effective_jobs\":%d,\"gc_minor_collections\":%d,\"gc_major_collections\":%d,\"gc_heap_words\":%d,\"store_bytes\":%d}"
     (Par.current_jobs ()) (Par.effective_jobs ())
+    gc.Gc.minor_collections gc.Gc.major_collections gc.Gc.heap_words
+    store_bytes
 
 let query_line name =
   Printf.sprintf "{\"type\":\"query\",\"name\":\"%s\"}" (json_escape name)

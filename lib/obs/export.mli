@@ -32,9 +32,12 @@
 val json_escape : string -> string
 (** Escapes a string for inclusion inside JSON double quotes. *)
 
-val meta_line : unit -> string
-(** The schema-version header line, stamped with {!Par.current_jobs} and
-    the honest {!Par.effective_jobs}. *)
+val meta_line : ?store_bytes:int -> unit -> string
+(** The schema-version header line, stamped with {!Par.current_jobs}, the
+    honest {!Par.effective_jobs}, the process GC state at export time
+    ([gc_minor_collections], [gc_major_collections], [gc_heap_words] from
+    {!Gc.quick_stat}) and the loaded store's approximate heap footprint
+    ([store_bytes]; [-1], the default, when no store was measured). *)
 
 val query_line : string -> string
 (** The per-query delimiter line of a workload trace. *)

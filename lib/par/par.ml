@@ -135,14 +135,29 @@ let run_job pool ~n ~chunk run =
   pool.task <- None;
   Mutex.unlock pool.m
 
+(* Process-level pool metrics (lib/metrics): recording is a no-op while
+   metrics are disabled, so the map fast path keeps its shape. *)
+let m_parallel = Metrics.counter "pool.parallel_runs" ~help:"Maps fanned out across worker domains"
+let m_sequential = Metrics.counter "pool.sequential_runs" ~help:"Maps run sequentially (width 1 or single element)"
+let m_inline = Metrics.counter "pool.inline_fallbacks" ~help:"Reentrant maps run inline because a job was in flight"
+let m_tasks = Metrics.counter "pool.tasks" ~help:"Indexes dispatched to the domain pool"
+let g_width = Metrics.gauge "pool.width" ~help:"Effective pool width after the core clamp"
+let g_requested = Metrics.gauge "pool.requested" ~help:"Requested pool width"
+
 let parallel_map ?(chunk = 1) pool f xs =
   let n = Array.length xs in
   if n = 0 then [||]
-  else if
-    pool.width <= 1 || n = 1
-    || not (Atomic.compare_and_set pool.busy false true)
-  then Array.map f xs
-  else
+  else if pool.width <= 1 || n = 1 then begin
+    Metrics.add m_sequential 1;
+    Array.map f xs
+  end
+  else if not (Atomic.compare_and_set pool.busy false true) then begin
+    Metrics.add m_inline 1;
+    Array.map f xs
+  end
+  else begin
+    Metrics.add m_parallel 1;
+    Metrics.add m_tasks n;
     Fun.protect
       ~finally:(fun () -> Atomic.set pool.busy false)
       (fun () ->
@@ -169,6 +184,7 @@ let parallel_map ?(chunk = 1) pool f xs =
               (function Some v -> v | None -> assert false)
               results
         | i -> ( match exns.(i) with Some e -> raise e | None -> assert false))
+  end
 
 let parallel_fold ?chunk pool ~map ~fold ~init xs =
   Array.fold_left fold init (parallel_map ?chunk pool map xs)
@@ -224,4 +240,6 @@ let get () =
         p
   in
   Mutex.unlock glock;
+  Metrics.set_gauge g_width (float_of_int pool.width);
+  Metrics.set_gauge g_requested (float_of_int pool.requested);
   pool

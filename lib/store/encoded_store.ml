@@ -25,6 +25,14 @@ type t = {
   mutable log_base : int;        (* data_version at the head of [log] *)
 }
 
+(* Process-level mutation counters (lib/metrics); effective changes only,
+   mirroring the version bumps. *)
+let m_inserts = Metrics.counter "store.inserts" ~help:"Effective fact inserts"
+let m_deletes = Metrics.counter "store.deletes" ~help:"Effective fact deletes"
+let m_schema_changes =
+  Metrics.counter "store.schema_changes"
+    ~help:"Effective RDFS-constraint additions and retractions"
+
 (* Pair keys are packed into one 62-bit integer; codes stay far below 2^31
    at the scales this library targets. *)
 let pack a b =
@@ -89,6 +97,7 @@ let posting tbl key =
 let insert_code t s p o =
   if not (Hashtbl.mem t.ids (s, p, o)) then begin
     t.data_version <- t.data_version + 1;
+    Metrics.add m_inserts 1;
     log_change t true s p o;
     let id = size t in
     Hashtbl.add t.ids (s, p, o) id;
@@ -139,6 +148,7 @@ let delete_code t s p o =
   | None -> false
   | Some id ->
       t.data_version <- t.data_version + 1;
+      Metrics.add m_deletes 1;
       log_change t false s p o;
       let last = size t - 1 in
       Hashtbl.remove t.ids (s, p, o);
@@ -197,6 +207,7 @@ let insert_triples t triples =
           if not (constr_declared t.schema c) then begin
             t.schema <- Rdf.Schema.add c t.schema;
             t.schema_version <- t.schema_version + 1;
+            Metrics.add m_schema_changes 1;
             incr schema_changes
           end
       | None ->
@@ -219,6 +230,7 @@ let delete_triples t triples =
                    (fun c' -> c' <> c)
                    (Rdf.Schema.constraints t.schema));
             t.schema_version <- t.schema_version + 1;
+            Metrics.add m_schema_changes 1;
             incr schema_changes
           end
       | None -> if delete t tr then incr data_changes)
@@ -375,3 +387,26 @@ let saturate t =
           List.iter (fun c -> insert_code t' o type_code c) ranges
   done;
   t'
+
+(* ---- process-level metrics ---- *)
+
+(* Heap footprint of everything the store points at — columns, the six
+   posting indexes, the duplicate guard, the change log and the (possibly
+   shared) dictionary.  [Obj.reachable_words] walks that object graph, so
+   this is O(store size): snapshot-time only, never on a query path. *)
+let approx_bytes t = Obj.reachable_words (Obj.repr t) * (Sys.word_size / 8)
+
+let g_triples = Metrics.gauge "store.triples" ~help:"Stored fact triples"
+let g_data_version =
+  Metrics.gauge "store.data_version" ~help:"Effective fact inserts + deletes"
+let g_schema_version =
+  Metrics.gauge "store.schema_version"
+    ~help:"Effective RDFS-constraint changes"
+let g_bytes =
+  Metrics.gauge "store.bytes" ~help:"Approximate heap bytes reachable from the store"
+
+let observe_metrics t =
+  Metrics.set_gauge g_triples (float_of_int (size t));
+  Metrics.set_gauge g_data_version (float_of_int t.data_version);
+  Metrics.set_gauge g_schema_version (float_of_int t.schema_version);
+  Metrics.set_gauge g_bytes (float_of_int (approx_bytes t))

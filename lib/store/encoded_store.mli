@@ -157,3 +157,14 @@ val saturate : t -> t
 
 val to_graph : t -> Rdf.Graph.t
 (** Decodes the store back into a graph (tests, small stores only). *)
+
+val approx_bytes : t -> int
+(** Approximate heap footprint in bytes of everything reachable from the
+    store — columns, posting indexes, duplicate guard, change log and the
+    (possibly shared) dictionary.  O(store size); meant for snapshots and
+    trace meta lines, never for query paths. *)
+
+val observe_metrics : t -> unit
+(** Publishes the [store.*] gauges ([store.triples], [store.data_version],
+    [store.schema_version], [store.bytes]) to the process metrics registry.
+    No-op while metrics are disabled. *)

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Append one BENCH_engine.json run to the perf history log.
+#
+# Usage: scripts/bench_history.sh [current.json] [history.jsonl]
+#
+# Each line of bench/history.jsonl is one self-contained run record:
+#   {"commit", "date", "scale", "jobs", "effective_jobs", "cpus",
+#    "benches":  {name:  {ns, ns_seq, speedup_vs_seq}},
+#    "cache":    {label: {cold_ms, warm_ms, warm_speedup}},
+#    "admission":{label: {queries, provably_safe, provably_fails,
+#                         unknown, skipped}},
+#    "latency":  {label: {answers, p50_ms, p90_ms, p99_ms, max_ms,
+#                         store_bytes}},
+#    "gc":       {minor_collections, major_collections, heap_words}}
+# scripts/gen_trend.sh turns the log into the static trend page, and
+# bench/check_regression.sh warns when the current run drifts past the
+# history median.  Append-only by design: one line per CI run, committed
+# or uploaded as an artifact by the weekly full-suite job.
+set -euo pipefail
+
+CURRENT=${1:-BENCH_engine.json}
+HISTORY=${2:-bench/history.jsonl}
+
+if [ ! -f "$CURRENT" ]; then
+  echo "bench_history: missing $CURRENT" >&2
+  exit 2
+fi
+
+commit=$(git rev-parse --short=12 HEAD 2>/dev/null || echo unknown)
+date=$(date -u +%Y-%m-%dT%H:%M:%SZ)
+
+mkdir -p "$(dirname "$HISTORY")"
+
+jq -c --arg commit "$commit" --arg date "$date" '
+  {
+    commit: $commit,
+    date: $date,
+    scale,
+    jobs,
+    effective_jobs,
+    cpus,
+    benches: (.results
+              | with_entries(.value |= {ns, ns_seq, speedup_vs_seq})),
+    cache: ((.cache // {})
+            | with_entries(.value |= {cold_ms, warm_ms, warm_speedup})),
+    admission: ((.admission // {})
+                | with_entries(.value |= {queries, provably_safe,
+                                          provably_fails, unknown, skipped})),
+    latency: (.latency // {}),
+    gc: (.gc // {})
+  }' "$CURRENT" >> "$HISTORY"
+
+echo "bench_history: appended $commit to $HISTORY ($(wc -l < "$HISTORY") entries)"

@@ -1,0 +1,153 @@
+#!/usr/bin/env bash
+# Render the perf-history log as a self-contained static HTML trend page.
+#
+# Usage: scripts/gen_trend.sh [history.jsonl] [out.html]
+#
+# The page embeds the whole history as a JSON array and draws inline SVG
+# line charts client-side — no external assets, no network, so it works
+# as a plain CI artifact opened from disk.  Charts: ns_seq per benchmark,
+# latency quantiles per workload, cache warm speedup, admission safe
+# fraction and GC/heap counters, each over run order (x = run index,
+# labelled by commit).
+set -euo pipefail
+
+HISTORY=${1:-bench/history.jsonl}
+OUT=${2:-trend.html}
+
+if [ ! -f "$HISTORY" ] || [ ! -s "$HISTORY" ]; then
+  echo "gen_trend: missing or empty $HISTORY" >&2
+  exit 2
+fi
+
+DATA=$(jq -c -s . "$HISTORY")
+
+{
+cat <<'HEAD'
+<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>rdfqa perf history</title>
+<style>
+  body { font: 14px/1.5 system-ui, sans-serif; margin: 2rem auto; max-width: 1100px; color: #222; }
+  h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; border-bottom: 1px solid #ddd; }
+  .charts { display: flex; flex-wrap: wrap; gap: 1rem; }
+  .chart { border: 1px solid #e3e3e3; border-radius: 6px; padding: .5rem .75rem; }
+  .chart .title { font-weight: 600; font-size: .85rem; margin-bottom: .25rem; }
+  .chart .minmax { color: #777; font-size: .75rem; }
+  svg polyline { fill: none; stroke: #2266cc; stroke-width: 1.5; }
+  svg circle { fill: #2266cc; }
+  svg text { font-size: 9px; fill: #999; }
+  .meta { color: #777; font-size: .85rem; }
+</style>
+</head>
+<body>
+<h1>rdfqa perf history</h1>
+<div class="meta" id="meta"></div>
+<div id="root"></div>
+<script id="history-data" type="application/json">
+HEAD
+printf '%s\n' "$DATA"
+cat <<'TAIL'
+</script>
+<script>
+"use strict";
+const runs = JSON.parse(document.getElementById("history-data").textContent);
+document.getElementById("meta").textContent =
+  runs.length + " runs, " + runs[0].date + " to " + runs[runs.length - 1].date +
+  " (scales: " + [...new Set(runs.map(r => r.scale))].join(", ") + ")";
+
+const W = 320, H = 120, PAD = 24;
+
+function fmt(v) {
+  if (!isFinite(v)) return "-";
+  if (Math.abs(v) >= 1e9) return (v / 1e9).toFixed(2) + "G";
+  if (Math.abs(v) >= 1e6) return (v / 1e6).toFixed(2) + "M";
+  if (Math.abs(v) >= 1e3) return (v / 1e3).toFixed(1) + "k";
+  return v.toFixed(Math.abs(v) < 10 ? 2 : 1);
+}
+
+// points: [{label, y}] in run order; y === null for runs missing the metric
+function chart(title, unit, points) {
+  const ys = points.map(p => p.y).filter(y => y !== null && isFinite(y));
+  if (ys.length === 0) return null;
+  const lo = Math.min(...ys), hi = Math.max(...ys);
+  const span = (hi - lo) || Math.abs(hi) || 1;
+  const x = i => PAD + (points.length < 2 ? (W - 2 * PAD) / 2
+                                          : (W - 2 * PAD) * i / (points.length - 1));
+  const yy = v => (H - PAD) - (H - 2 * PAD) * ((v - lo) / span);
+  const pts = [];
+  const dots = [];
+  points.forEach((p, i) => {
+    if (p.y === null || !isFinite(p.y)) return;
+    const cx = x(i), cy = yy(p.y);
+    pts.push(cx.toFixed(1) + "," + cy.toFixed(1));
+    dots.push(`<circle cx="${cx.toFixed(1)}" cy="${cy.toFixed(1)}" r="2"><title>${p.label}: ${fmt(p.y)} ${unit}</title></circle>`);
+  });
+  const first = points[0].label, last = points[points.length - 1].label;
+  const div = document.createElement("div");
+  div.className = "chart";
+  div.innerHTML =
+    `<div class="title">${title}</div>` +
+    `<svg width="${W}" height="${H}" viewBox="0 0 ${W} ${H}">` +
+    `<polyline points="${pts.join(" ")}"/>` + dots.join("") +
+    `<text x="${PAD}" y="${H - 6}">${first}</text>` +
+    `<text x="${W - PAD}" y="${H - 6}" text-anchor="end">${last}</text>` +
+    `</svg>` +
+    `<div class="minmax">min ${fmt(lo)} ${unit} &middot; max ${fmt(hi)} ${unit} &middot; last ${fmt(ys[ys.length - 1])} ${unit}</div>`;
+  return div;
+}
+
+function section(title, charts) {
+  const present = charts.filter(c => c !== null);
+  if (present.length === 0) return;
+  const root = document.getElementById("root");
+  const h = document.createElement("h2");
+  h.textContent = title;
+  root.appendChild(h);
+  const wrap = document.createElement("div");
+  wrap.className = "charts";
+  present.forEach(c => wrap.appendChild(c));
+  root.appendChild(wrap);
+}
+
+function keysOf(field) {
+  const keys = new Set();
+  runs.forEach(r => Object.keys(r[field] || {}).forEach(k => keys.add(k)));
+  return [...keys].sort();
+}
+
+function series(get) {
+  return runs.map(r => {
+    const v = get(r);
+    return { label: r.commit, y: (v === undefined || v === null) ? null : v };
+  });
+}
+
+section("Benchmarks (ns_seq: sequential ns/run)", keysOf("benches").map(name =>
+  chart(name, "ns", series(r => r.benches && r.benches[name] && r.benches[name].ns_seq))));
+
+section("Latency quantiles (end-to-end answer ms)", keysOf("latency").flatMap(l =>
+  ["p50_ms", "p99_ms"].map(q =>
+    chart(l + " " + q, "ms", series(r => r.latency && r.latency[l] && r.latency[l][q])))));
+
+section("Cache warm speedup (cold_ms / warm_ms)", keysOf("cache").map(l =>
+  chart(l, "x", series(r => r.cache && r.cache[l] && r.cache[l].warm_speedup))));
+
+section("Admission: provably-safe fraction", keysOf("admission").map(l =>
+  chart(l, "", series(r => {
+    const a = r.admission && r.admission[l];
+    return a && a.queries ? a.provably_safe / a.queries : null;
+  }))));
+
+section("Process (GC at export)", [
+  chart("heap_words", "w", series(r => r.gc && r.gc.heap_words)),
+  chart("major_collections", "", series(r => r.gc && r.gc.major_collections)),
+]);
+</script>
+</body>
+</html>
+TAIL
+} > "$OUT"
+
+echo "gen_trend: wrote $OUT ($(jq -s length "$HISTORY") runs)"

@@ -362,6 +362,60 @@ let test_check_codes_machine () =
        [ "CB001"; "CB002"; "CB003"; "CB004"; "CB005"; "CB006"; "CB007";
          "CB008"; "CB009" ])
 
+(* ---- stats / metrics ---- *)
+
+let metrics_validator =
+  List.find Sys.file_exists
+    [ "./validate_metrics.exe"; "_build/default/test/validate_metrics.exe" ]
+
+let validate_metrics path =
+  let out = Filename.temp_file "rqa_cli" ".out" in
+  let code =
+    Sys.command
+      (Printf.sprintf "%s %s > %s 2>&1" metrics_validator
+         (Filename.quote path) (Filename.quote out))
+  in
+  let body = read_file out in
+  Sys.remove out;
+  (code, body)
+
+let test_stats () =
+  let prom = Filename.temp_file "rqa_cli" ".prom" in
+  let jsonl = Filename.temp_file "rqa_cli" ".jsonl" in
+  let code, body =
+    run_capture
+      (Printf.sprintf "stats -w lubm --repeat 2 --prom %s --json %s" prom
+         jsonl)
+  in
+  Alcotest.(check int) "exit code" 0 code;
+  Alcotest.(check bool) "summary line" true (contains body "passes (GCov");
+  Alcotest.(check bool) "latency histogram reported" true
+    (contains body "query.latency_ms");
+  Alcotest.(check bool) "admission tallies reported" true
+    (contains body "admission.");
+  let pcode, pbody = validate_metrics prom in
+  let jcode, jbody = validate_metrics jsonl in
+  Sys.remove prom;
+  Sys.remove jsonl;
+  Alcotest.(check int) "prometheus validates" 0 pcode;
+  Alcotest.(check bool) "prometheus summary" true (contains pbody "ok");
+  Alcotest.(check int) "jsonl validates" 0 jcode;
+  Alcotest.(check bool) "jsonl summary" true (contains jbody "ok")
+
+let test_query_metrics_and_repeat () =
+  let data = Lazy.force data_file in
+  let code, body =
+    run_capture
+      (Printf.sprintf
+         "query -d %s --workload-query lubm:Q01 -s gcov --limit 0 --repeat 3 \
+          --metrics" data)
+  in
+  Alcotest.(check int) "exit code" 0 code;
+  Alcotest.(check bool) "repeat quantiles" true
+    (contains body "-- repeat: 3 passes" && contains body "p99");
+  Alcotest.(check bool) "metrics dump" true (contains body "-- metrics:");
+  Alcotest.(check bool) "gc gauges sampled" true (contains body "gc.heap_words")
+
 let test_bad_arguments () =
   let code, _ = run_capture "query --workload-query lubm:Q01" in
   Alcotest.(check bool) "missing --data rejected" true (code <> 0);
@@ -406,6 +460,9 @@ let () =
           Alcotest.test_case "query --jobs deterministic" `Quick
             test_query_jobs_deterministic;
           Alcotest.test_case "trace --jobs 4" `Quick test_trace_jobs;
+          Alcotest.test_case "stats exports validate" `Quick test_stats;
+          Alcotest.test_case "query --metrics --repeat" `Quick
+            test_query_metrics_and_repeat;
           Alcotest.test_case "bad arguments" `Quick test_bad_arguments;
         ] );
     ]

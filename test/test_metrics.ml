@@ -1,0 +1,290 @@
+(* Metrics registry and histogram tests.
+
+   1. Histogram geometry: bucket boundaries round-trip through
+      [bucket_index]/[bucket_bounds], quantiles are monotone in q, and
+      [merge] is associative/commutative on everything it promises
+      (counts, buckets, min, max).
+
+   2. qcheck bracketing property: for random samples and quantiles, the
+      estimate brackets the true order statistic within one bucket width
+      (same bucket, never below the truth).
+
+   3. Exporters: to_prometheus and to_jsonl outputs pass
+      validate_metrics.exe — the independent format/schema checker the CI
+      metrics job also runs.
+
+   4. Charge invariance: metrics-on vs metrics-off engine operation
+      totals are bit-identical across all 3 engine profiles and jobs in
+      {1, 4}.  This is the observability contract: recording never feeds
+      back into execution. *)
+
+module H = Metrics.Histogram
+
+(* Real multi-domain execution on small CI machines (see test_par). *)
+let () = Unix.putenv "RDFQA_JOBS_FORCE" "1"
+
+let with_jobs j f =
+  Fun.protect ~finally:(fun () -> Par.set_jobs (Par.env_jobs ())) (fun () ->
+      Par.set_jobs j;
+      f ())
+
+let with_metrics b f =
+  Metrics.set_enabled b;
+  Fun.protect ~finally:(fun () -> Metrics.set_enabled false) f
+
+(* ---- bucket geometry ---- *)
+
+let test_bucket_boundaries () =
+  Alcotest.(check int) "0 underflows" 0 (H.bucket_index 0.0);
+  Alcotest.(check int) "0.5 underflows" 0 (H.bucket_index 0.5);
+  Alcotest.(check int) "just below 1" 0 (H.bucket_index 0.999999);
+  Alcotest.(check int) "1.0 is first finite bucket" 1 (H.bucket_index 1.0);
+  (* Octave [2,4) starts right after the sub_buckets of octave [1,2). *)
+  Alcotest.(check int) "2.0 starts the second octave"
+    (1 + H.sub_buckets)
+    (H.bucket_index 2.0);
+  Alcotest.(check int) "huge value overflows"
+    (H.nbuckets - 1)
+    (H.bucket_index 1e30);
+  let lo, hi = H.bucket_bounds 1 in
+  Alcotest.(check (float 1e-9)) "first bucket lo" 1.0 lo;
+  Alcotest.(check (float 1e-9))
+    "first bucket width is 1/sub_buckets"
+    (1.0 +. (1.0 /. float_of_int H.sub_buckets))
+    hi;
+  let _, over_hi = H.bucket_bounds (H.nbuckets - 1) in
+  Alcotest.(check bool) "overflow bucket is unbounded" true
+    (over_hi = infinity);
+  (* Round-trip: every value lands inside its own bucket's bounds. *)
+  List.iter
+    (fun v ->
+      let i = H.bucket_index v in
+      let lo, hi = H.bucket_bounds i in
+      if not (lo <= v && v < hi) then
+        Alcotest.failf "value %g escapes bucket %d [%g, %g)" v i lo hi)
+    [ 0.0; 0.3; 1.0; 1.1; 1.9; 2.0; 3.7; 17.0; 1000.0; 123456.789; 9.9e11 ]
+
+let test_counts_and_sum () =
+  let h = H.create () in
+  Alcotest.(check int) "empty count" 0 (H.count h);
+  Alcotest.(check (float 0.0)) "empty quantile" 0.0 (H.quantile h 0.5);
+  List.iter (H.observe h) [ 1.5; 2.5; 100.0; -3.0 ];
+  Alcotest.(check int) "count" 4 (H.count h);
+  (* the negative observation clamps to zero *)
+  Alcotest.(check (float 1e-9)) "sum" 104.0 (H.sum h);
+  Alcotest.(check (float 1e-9)) "min" 0.0 (H.min_value h);
+  Alcotest.(check (float 1e-9)) "max" 100.0 (H.max_value h);
+  Alcotest.(check int) "underflow bucket holds the clamp" 1
+    (H.bucket_count h 0)
+
+let test_quantile_monotone () =
+  let h = H.create () in
+  for i = 1 to 1000 do
+    H.observe h (float_of_int i *. 0.37)
+  done;
+  let p50 = H.quantile h 0.5
+  and p90 = H.quantile h 0.9
+  and p99 = H.quantile h 0.99
+  and mx = H.max_value h in
+  Alcotest.(check bool) "p50 <= p90" true (p50 <= p90);
+  Alcotest.(check bool) "p90 <= p99" true (p90 <= p99);
+  Alcotest.(check bool) "p99 <= max" true (p99 <= mx);
+  Alcotest.(check (float 1e-9)) "q=1 clamps to max" mx (H.quantile h 1.0)
+
+let buckets_of h =
+  List.init H.nbuckets (fun i -> H.bucket_count h i)
+
+let same_shape name a b =
+  Alcotest.(check int) (name ^ " count") (H.count a) (H.count b);
+  Alcotest.(check (float 1e-9)) (name ^ " min") (H.min_value a) (H.min_value b);
+  Alcotest.(check (float 1e-9)) (name ^ " max") (H.max_value a) (H.max_value b);
+  Alcotest.(check (list int)) (name ^ " buckets") (buckets_of a) (buckets_of b);
+  Alcotest.(check (list (pair (float 1e-9) int)))
+    (name ^ " cumulative") (H.cumulative a) (H.cumulative b)
+
+let test_merge_associative () =
+  let mk vs =
+    let h = H.create () in
+    List.iter (H.observe h) vs;
+    h
+  in
+  let a = mk [ 0.2; 1.5; 7.0 ]
+  and b = mk [ 3.0; 3.1; 900.0 ]
+  and c = mk [ 0.0; 1e6 ] in
+  same_shape "associativity" (H.merge (H.merge a b) c) (H.merge a (H.merge b c));
+  same_shape "commutativity" (H.merge a b) (H.merge b a);
+  let empty = H.create () in
+  same_shape "identity" a (H.merge a empty);
+  (* merged cumulative counts end at the merged total *)
+  let m = H.merge a b in
+  (match List.rev (H.cumulative m) with
+  | (_, last) :: _ ->
+      Alcotest.(check bool) "cumulative <= count" true (last <= H.count m)
+  | [] -> Alcotest.fail "merged histogram lost its buckets")
+
+(* ---- qcheck: quantile estimates bracket the true order statistic ---- *)
+
+let prop_quantile_brackets =
+  QCheck2.Test.make ~count:300
+    ~name:"quantile estimate shares the true order statistic's bucket"
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 1 200) (float_bound_exclusive 1e7))
+        (float_range 0.01 1.0))
+    (fun (vs, q) ->
+      let vs = List.map Float.abs vs in
+      let h = H.create () in
+      List.iter (H.observe h) vs;
+      let est = H.quantile h q in
+      let sorted = List.sort compare vs in
+      let rank =
+        Stdlib.max 1 (int_of_float (Float.ceil (q *. float_of_int (List.length vs))))
+      in
+      let truth = List.nth sorted (rank - 1) in
+      let _, hi = H.bucket_bounds (H.bucket_index truth) in
+      (* never below the truth, never past the truth's bucket upper
+         bound: within one bucket width *)
+      truth <= est && est <= hi)
+
+(* ---- exporters pass the independent validator ---- *)
+
+(* Same resolution dance as test_cli.ml: the validator is a sibling. *)
+let validator =
+  List.find Sys.file_exists
+    [ "./validate_metrics.exe"; "_build/default/test/validate_metrics.exe" ]
+
+let validate body ext =
+  let path = Filename.temp_file "rqa_metrics" ext in
+  let oc = open_out path in
+  output_string oc body;
+  close_out oc;
+  let out = Filename.temp_file "rqa_metrics" ".out" in
+  let code =
+    Sys.command
+      (Printf.sprintf "%s %s > %s 2>&1" validator (Filename.quote path)
+         (Filename.quote out))
+  in
+  let ic = open_in out in
+  let report = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  Sys.remove out;
+  (code, report)
+
+let populate_registry () =
+  Metrics.reset ();
+  Metrics.install_gc_samplers ();
+  let c = Metrics.counter ~help:"test counter" "test.ops" in
+  let g = Metrics.gauge ~help:"test gauge" "test.level" in
+  let h = Metrics.histogram ~help:"test latencies" "test.latency_ms" in
+  with_metrics true (fun () ->
+      Metrics.add c 41;
+      Metrics.add c 1;
+      Metrics.set_gauge g 2.5;
+      for i = 1 to 100 do
+        Metrics.observe h (float_of_int i *. 1.3)
+      done)
+
+let test_prometheus_validates () =
+  populate_registry ();
+  let code, report = validate (Metrics.to_prometheus ()) ".prom" in
+  if code <> 0 then Alcotest.failf "prometheus rejected: %s" report;
+  Alcotest.(check int) "validator exit" 0 code
+
+let test_jsonl_validates () =
+  populate_registry ();
+  let code, report = validate (Metrics.to_jsonl ()) ".jsonl" in
+  if code <> 0 then Alcotest.failf "jsonl rejected: %s" report;
+  Alcotest.(check int) "validator exit" 0 code
+
+let test_validator_rejects_garbage () =
+  let code, _ =
+    validate "{\"type\":\"counter\",\"name\":\"x\",\"value\":-1}\n" ".jsonl"
+  in
+  Alcotest.(check bool) "bad meta/value rejected" true (code <> 0);
+  let code, _ = validate "rdfqa_orphan 1\n" ".prom" in
+  Alcotest.(check bool) "sample without TYPE rejected" true (code <> 0)
+
+let test_registry_contract () =
+  let c1 = Metrics.counter "test.idem" in
+  let c2 = Metrics.counter "test.idem" in
+  with_metrics true (fun () ->
+      Metrics.add c1 3;
+      Metrics.add c2 4);
+  Alcotest.(check int) "idempotent registration shares state" 7
+    (Metrics.counter_value c1);
+  Alcotest.check_raises "kind mismatch raises"
+    (Invalid_argument "Metrics: \"test.idem\" already registered as a counter")
+    (fun () -> ignore (Metrics.gauge "test.idem"));
+  let c = Metrics.counter "test.gated" in
+  Metrics.set_enabled false;
+  Metrics.add c 5;
+  Alcotest.(check int) "disabled add is a no-op" 0 (Metrics.counter_value c)
+
+(* ---- charge invariance ---- *)
+
+(* The analyzer's admission gate stays off, as in test_cost: the point is
+   that *recording* never changes what the engine charges. *)
+let () = Analysis.Cost_verify.set_enabled false
+
+(* A fresh store per measurement, not a shared lazy one: executing a
+   query interns its dictionary-absent constants into the store (the
+   executor's encode-on-demand path), so a second run over the same store
+   charges slightly more.  Generation is deterministic, so fresh stores
+   make the on/off runs start from bit-identical state. *)
+let fresh_store () = Workloads.Lubm.generate { Workloads.Lubm.universities = 1 }
+
+let total_ops_with ~metrics ~jobs profile =
+  with_metrics metrics (fun () ->
+      with_jobs jobs (fun () ->
+          let sys = Rqa.Answering.make ~profile (fresh_store ()) in
+          List.iter
+            (fun (_, q) ->
+              try ignore (Rqa.Answering.answer sys Rqa.Answering.Gcov q)
+              with Engine.Profile.Engine_failure _ -> ())
+            Workloads.Lubm.queries;
+          Engine.Executor.total_operations (Rqa.Answering.engine sys)))
+
+let test_charge_invariance () =
+  List.iter
+    (fun profile ->
+      List.iter
+        (fun jobs ->
+          let off = total_ops_with ~metrics:false ~jobs profile in
+          let on = total_ops_with ~metrics:true ~jobs profile in
+          Alcotest.(check int)
+            (Printf.sprintf "%s jobs=%d charges bit-identical"
+               profile.Engine.Profile.name jobs)
+            off on)
+        [ 1; 4 ])
+    Engine.Profile.all
+
+let () =
+  Alcotest.run "metrics"
+    [
+      ( "histogram",
+        [
+          Alcotest.test_case "bucket boundaries" `Quick test_bucket_boundaries;
+          Alcotest.test_case "counts and sum" `Quick test_counts_and_sum;
+          Alcotest.test_case "quantile monotone" `Quick test_quantile_monotone;
+          Alcotest.test_case "merge associative" `Quick test_merge_associative;
+        ] );
+      ( "properties",
+        List.map
+          (fun t -> QCheck_alcotest.to_alcotest t)
+          [ prop_quantile_brackets ] );
+      ( "exporters",
+        [
+          Alcotest.test_case "prometheus validates" `Quick
+            test_prometheus_validates;
+          Alcotest.test_case "jsonl validates" `Quick test_jsonl_validates;
+          Alcotest.test_case "validator rejects garbage" `Quick
+            test_validator_rejects_garbage;
+          Alcotest.test_case "registry contract" `Quick test_registry_contract;
+        ] );
+      ( "invariance",
+        [
+          Alcotest.test_case "charge totals metrics-on vs off" `Slow
+            test_charge_invariance;
+        ] );
+    ]

@@ -1,0 +1,459 @@
+(* Validates rdfqa metrics exports against the schemas documented in
+   lib/metrics/metrics.mli (the two must stay in sync).  Used by the CLI
+   test suite and the CI metrics job:
+
+     validate_metrics.exe FILE
+
+   FILE ending in .jsonl is checked as a JSONL registry snapshot; anything
+   else is checked as Prometheus text exposition format.  Exits 0 with a
+   summary when the file conforms, 1 with the first offending line
+   otherwise.  Like validate_trace.ml, the JSON reader below is a small
+   hand-written parser: the repo carries no JSON dependency. *)
+
+exception Bad of string
+
+type json =
+  | Obj of (string * json) list
+  | Arr of json list
+  | Str of string
+  | Num of float
+  | Bool of bool
+  | Null
+
+let parse (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = raise (Bad (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') -> advance (); skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word value =
+    String.iter expect word;
+    value
+  in
+  let string_ () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+          advance ();
+          (match peek () with
+          | Some 'u' ->
+              advance ();
+              for _ = 1 to 4 do
+                match peek () with
+                | Some c
+                  when (c >= '0' && c <= '9')
+                       || (c >= 'a' && c <= 'f')
+                       || (c >= 'A' && c <= 'F') ->
+                    Buffer.add_char buf c;
+                    advance ()
+                | _ -> fail "bad \\u escape"
+              done
+          | Some c ->
+              Buffer.add_char buf c;
+              advance ()
+          | None -> fail "unterminated escape");
+          go ()
+      | Some c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let number () =
+    let start = !pos in
+    let num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> num_char c | None -> false) do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "bad number"
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' -> obj ()
+    | Some '[' -> arr ()
+    | Some '"' -> Str (string_ ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some ('-' | '0' .. '9') -> Num (number ())
+    | _ -> fail "unexpected character"
+  and obj () =
+    expect '{';
+    skip_ws ();
+    if peek () = Some '}' then begin
+      advance ();
+      Obj []
+    end
+    else begin
+      let rec members acc =
+        skip_ws ();
+        let k = string_ () in
+        skip_ws ();
+        expect ':';
+        let v = value () in
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+            advance ();
+            members ((k, v) :: acc)
+        | Some '}' ->
+            advance ();
+            Obj (List.rev ((k, v) :: acc))
+        | _ -> fail "expected ',' or '}'"
+      in
+      members []
+    end
+  and arr () =
+    expect '[';
+    skip_ws ();
+    if peek () = Some ']' then begin
+      advance ();
+      Arr []
+    end
+    else begin
+      let rec elements acc =
+        let v = value () in
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+            advance ();
+            elements (v :: acc)
+        | Some ']' ->
+            advance ();
+            Arr (List.rev (v :: acc))
+        | _ -> fail "expected ',' or ']'"
+      in
+      elements []
+    end
+  in
+  let v = value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let field fields k =
+  match List.assoc_opt k fields with
+  | Some v -> v
+  | None -> raise (Bad (Printf.sprintf "missing field %S" k))
+
+let str fields k =
+  match field fields k with
+  | Str s -> s
+  | _ -> raise (Bad (Printf.sprintf "field %S must be a string" k))
+
+let num fields k =
+  match field fields k with
+  | Num f -> f
+  | _ -> raise (Bad (Printf.sprintf "field %S must be a number" k))
+
+let int_ fields k =
+  let f = num fields k in
+  if Float.is_integer f then int_of_float f
+  else raise (Bad (Printf.sprintf "field %S must be an integer" k))
+
+let nonneg_int fields k =
+  let i = int_ fields k in
+  if i < 0 then raise (Bad (Printf.sprintf "field %S must be >= 0" k));
+  i
+
+(* ---- JSONL snapshot schema (lib/metrics/metrics.mli) ---- *)
+
+let check_jsonl_line ~first line =
+  let fields =
+    match parse line with
+    | Obj fields -> fields
+    | _ -> raise (Bad "line is not a JSON object")
+  in
+  let ty = str fields "type" in
+  if first && ty <> "meta" then raise (Bad "first line must be a meta line");
+  match ty with
+  | "meta" ->
+      if not first then raise (Bad "meta line must come first");
+      if int_ fields "schema" <> 1 then raise (Bad "unknown schema version");
+      if str fields "generator" <> "rdfqa-metrics" then
+        raise (Bad "unknown generator")
+  | "counter" ->
+      ignore (str fields "name");
+      ignore (nonneg_int fields "value")
+  | "gauge" ->
+      ignore (str fields "name");
+      ignore (num fields "value")
+  | "histogram" ->
+      ignore (str fields "name");
+      let count = nonneg_int fields "count" in
+      ignore (num fields "sum");
+      let p50 = num fields "p50"
+      and p90 = num fields "p90"
+      and p99 = num fields "p99"
+      and mx = num fields "max" in
+      ignore (num fields "min");
+      if not (p50 <= p90 && p90 <= p99 && p99 <= mx) then
+        raise (Bad "quantiles must satisfy p50 <= p90 <= p99 <= max");
+      let buckets =
+        match field fields "buckets" with
+        | Arr bs -> bs
+        | _ -> raise (Bad "buckets must be an array")
+      in
+      let last_le = ref neg_infinity and last_count = ref 0 in
+      List.iter
+        (fun b ->
+          match b with
+          | Obj bf ->
+              let le = num bf "le" and c = nonneg_int bf "count" in
+              if not (Float.is_finite le) then
+                raise (Bad "bucket le must be finite");
+              if le <= !last_le then
+                raise (Bad "bucket le must be strictly increasing");
+              if c < !last_count then
+                raise (Bad "bucket counts must be cumulative");
+              last_le := le;
+              last_count := c
+          | _ -> raise (Bad "bucket must be an object"))
+        buckets;
+      if !last_count > count then
+        raise (Bad "cumulative bucket count exceeds histogram count")
+  | other -> raise (Bad (Printf.sprintf "unknown line type %S" other))
+
+let check_jsonl path =
+  let ic = open_in path in
+  let lineno = ref 0 in
+  (try
+     let first = ref true in
+     while true do
+       let line = input_line ic in
+       incr lineno;
+       if String.trim line <> "" then begin
+         check_jsonl_line ~first:!first line;
+         first := false
+       end
+     done
+   with
+  | End_of_file -> close_in ic
+  | Bad msg ->
+      close_in ic;
+      Printf.eprintf "%s:%d: %s\n" path !lineno msg;
+      exit 1);
+  if !lineno = 0 then begin
+    Printf.eprintf "%s: empty snapshot\n" path;
+    exit 1
+  end;
+  Printf.printf "%s: %d lines ok\n" path !lineno
+
+(* ---- Prometheus text exposition format ---- *)
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = ':'
+
+let valid_name s =
+  s <> ""
+  && (not (s.[0] >= '0' && s.[0] <= '9'))
+  && String.for_all is_name_char s
+
+(* The sample name a series belongs to: histogram series drop their
+   _bucket/_sum/_count suffix back to the TYPE-declared base name. *)
+let base_of types name =
+  let strip suffix =
+    if Filename.check_suffix name suffix then
+      Some (Filename.chop_suffix name suffix)
+    else None
+  in
+  if Hashtbl.mem types name then Some name
+  else
+    List.find_map
+      (fun sfx ->
+        match strip sfx with
+        | Some b when Hashtbl.find_opt types b = Some "histogram" -> Some b
+        | _ -> None)
+      [ "_bucket"; "_sum"; "_count" ]
+
+let check_prometheus path =
+  let ic = open_in path in
+  let types : (string, string) Hashtbl.t = Hashtbl.create 64 in
+  (* histogram base -> (le, cumulative count) list in file order *)
+  let hbuckets : (string, (float * float) list) Hashtbl.t = Hashtbl.create 8 in
+  let hsum : (string, float) Hashtbl.t = Hashtbl.create 8 in
+  let hcount : (string, float) Hashtbl.t = Hashtbl.create 8 in
+  let samples = ref 0 in
+  let lineno = ref 0 in
+  let fail msg =
+    close_in ic;
+    Printf.eprintf "%s:%d: %s\n" path !lineno msg;
+    exit 1
+  in
+  (try
+     while true do
+       let line = input_line ic in
+       incr lineno;
+       if line = "" then ()
+       else if String.length line >= 1 && line.[0] = '#' then begin
+         match String.split_on_char ' ' line with
+         | "#" :: "HELP" :: name :: _ ->
+             if not (valid_name name) then fail ("bad HELP name " ^ name)
+         | "#" :: "TYPE" :: name :: ty :: [] ->
+             if not (valid_name name) then fail ("bad TYPE name " ^ name);
+             if not (List.mem ty [ "counter"; "gauge"; "histogram" ]) then
+               fail ("unknown TYPE " ^ ty);
+             if Hashtbl.mem types name then
+               fail ("duplicate TYPE for " ^ name);
+             Hashtbl.replace types name ty
+         | _ -> fail "malformed comment line"
+       end
+       else begin
+         (* sample: name[{labels}] value *)
+         let name, labels, value_str =
+           match String.index_opt line '{' with
+           | Some i ->
+               let j =
+                 match String.index_opt line '}' with
+                 | Some j when j > i -> j
+                 | _ -> fail "unterminated label set"
+               in
+               ( String.sub line 0 i,
+                 Some (String.sub line (i + 1) (j - i - 1)),
+                 String.trim
+                   (String.sub line (j + 1) (String.length line - j - 1)) )
+           | None -> (
+               match String.rindex_opt line ' ' with
+               | Some i ->
+                   ( String.sub line 0 i,
+                     None,
+                     String.sub line (i + 1) (String.length line - i - 1) )
+               | None -> fail "sample line without value")
+         in
+         if not (valid_name name) then fail ("bad sample name " ^ name);
+         let value =
+           match value_str with
+           | "+Inf" -> infinity
+           | "-Inf" -> neg_infinity
+           | s -> (
+               match float_of_string_opt s with
+               | Some f -> f
+               | None -> fail ("bad sample value " ^ s))
+         in
+         incr samples;
+         match base_of types name with
+         | None -> fail ("sample " ^ name ^ " has no preceding TYPE")
+         | Some base -> (
+             let ty = Hashtbl.find types base in
+             match ty with
+             | "counter" ->
+                 if value < 0.0 then fail ("negative counter " ^ name);
+                 if labels <> None then fail "unexpected labels on counter"
+             | "gauge" ->
+                 if Float.is_nan value then fail ("NaN gauge " ^ name)
+             | "histogram" ->
+                 if Filename.check_suffix name "_bucket" then begin
+                   let le =
+                     match labels with
+                     | Some l when String.length l > 4
+                                   && String.sub l 0 4 = "le=\""
+                                   && l.[String.length l - 1] = '"' ->
+                         let v = String.sub l 4 (String.length l - 5) in
+                         if v = "+Inf" then infinity
+                         else (
+                           match float_of_string_opt v with
+                           | Some f -> f
+                           | None -> fail ("bad le value " ^ v))
+                     | _ -> fail "bucket sample must carry le=\"...\""
+                   in
+                   let prev =
+                     Option.value ~default:[] (Hashtbl.find_opt hbuckets base)
+                   in
+                   Hashtbl.replace hbuckets base (prev @ [ (le, value) ])
+                 end
+                 else if Filename.check_suffix name "_sum" then
+                   Hashtbl.replace hsum base value
+                 else if Filename.check_suffix name "_count" then
+                   Hashtbl.replace hcount base value
+                 else fail ("bare sample " ^ name ^ " for histogram " ^ base)
+             | _ -> assert false)
+       end
+     done
+   with End_of_file -> close_in ic);
+  (* cross-sample histogram invariants *)
+  Hashtbl.iter
+    (fun base ty ->
+      if ty = "histogram" then begin
+        let buckets =
+          match Hashtbl.find_opt hbuckets base with
+          | Some bs -> bs
+          | None ->
+              Printf.eprintf "%s: histogram %s has no buckets\n" path base;
+              exit 1
+        in
+        let rec check_mono last_le last_c = function
+          | [] -> ()
+          | (le, c) :: rest ->
+              if le <= last_le then begin
+                Printf.eprintf "%s: %s le not increasing\n" path base;
+                exit 1
+              end;
+              if c < last_c then begin
+                Printf.eprintf "%s: %s buckets not cumulative\n" path base;
+                exit 1
+              end;
+              check_mono le c rest
+        in
+        check_mono neg_infinity 0.0 buckets;
+        (match List.rev buckets with
+        | (le, last) :: _ ->
+            if le <> infinity then begin
+              Printf.eprintf "%s: %s missing +Inf bucket\n" path base;
+              exit 1
+            end;
+            (match Hashtbl.find_opt hcount base with
+            | Some c when c = last -> ()
+            | Some _ ->
+                Printf.eprintf "%s: %s _count disagrees with +Inf bucket\n"
+                  path base;
+                exit 1
+            | None ->
+                Printf.eprintf "%s: %s missing _count\n" path base;
+                exit 1)
+        | [] -> ());
+        if not (Hashtbl.mem hsum base) then begin
+          Printf.eprintf "%s: %s missing _sum\n" path base;
+          exit 1
+        end
+      end)
+    types;
+  if !samples = 0 then begin
+    Printf.eprintf "%s: no samples\n" path;
+    exit 1
+  end;
+  Printf.printf "%s: %d samples, %d series ok\n" path !samples
+    (Hashtbl.length types)
+
+let () =
+  if Array.length Sys.argv <> 2 then begin
+    prerr_endline "usage: validate_metrics.exe FILE[.jsonl|.prom]";
+    exit 2
+  end;
+  let path = Sys.argv.(1) in
+  if Filename.check_suffix path ".jsonl" then check_jsonl path
+  else check_prometheus path

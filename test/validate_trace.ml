@@ -213,7 +213,15 @@ let check_line ~first line =
          post-clamp width the pool actually ran at. *)
       if int_ fields "jobs" < 1 then raise (Bad "jobs below 1");
       if int_ fields "effective_jobs" < 1 then
-        raise (Bad "effective_jobs below 1")
+        raise (Bad "effective_jobs below 1");
+      (* Process snapshot at export time: GC counters are cumulative and
+         non-negative; store_bytes is a size estimate, with -1 meaning "no
+         store was measured". *)
+      List.iter
+        (fun k ->
+          if int_ fields k < 0 then raise (Bad (k ^ " below 0")))
+        [ "gc_minor_collections"; "gc_major_collections"; "gc_heap_words" ];
+      if int_ fields "store_bytes" < -1 then raise (Bad "store_bytes below -1")
   | "query" -> ignore (str fields "name")
   | "span" ->
       ignore (str fields "name");
