@@ -109,6 +109,49 @@ else
   echo "check_regression: no admission section, skipping admission gate"
 fi
 
+# --- views gate -------------------------------------------------------------
+# The "views" section records workload-total answering time with and
+# without the materialized-view tier, per workload × cover strategy (the
+# experiment itself already exited 1 unless answers and operation totals
+# were bit-identical).  Hard invariants:
+#   - views must pay for themselves: views_ms < noviews_ms on every row
+#     (the selection's whole premise is a workload-level win);
+#   - the tier must actually serve: hits > 0 (a zero-hit run means
+#     selection and answering disagree about covers — the speedup would
+#     be noise).
+if [ "$(jq -r '.views != null' "$CURRENT")" = "true" ]; then
+  view_rows=$(jq -r '
+    .views as $cur
+    | [$cur | keys[]] | sort | .[]
+    | . as $l
+    | $cur[$l] as $v
+    | (if $v.hits == 0 then "UNUSED"
+       elif $v.views_ms >= $v.noviews_ms then "NO-SPEEDUP"
+       else "ok" end) as $verdict
+    | "\($l)|\($v.noviews_ms)|\($v.views_ms)|\($v.speedup)x|" +
+      "\($v.selected)/\($v.candidates)|\($v.hits)|\($v.misses)|\($verdict)"
+  ' "$CURRENT")
+
+  {
+    echo ""
+    echo "## Views gate (workload totals with/without materialized views)"
+    echo ""
+    echo "| workload/strategy | no-views ms | views ms | speedup | selected | hits | misses | verdict |"
+    echo "|---|---|---|---|---|---|---|---|"
+    echo "$view_rows" | awk -F'|' \
+      '{printf "| %s | %s | %s | %s | %s | %s | %s | %s |\n", $1, $2, $3, $4, $5, $6, $7, $8}'
+  } >> "$SUMMARY"
+
+  if echo "$view_rows" | grep -qE '(UNUSED|NO-SPEEDUP)$'; then
+    echo "check_regression: FAIL — views invariants violated:" >&2
+    echo "$view_rows" | grep -E '(UNUSED|NO-SPEEDUP)$' >&2
+    exit 1
+  fi
+  echo "check_regression: views ok ($(echo "$view_rows" | wc -l) workload runs)"
+else
+  echo "check_regression: no views section, skipping views gate"
+fi
+
 # --- history drift (warn-only) ----------------------------------------------
 # Compare the current run against the median of bench/history.jsonl entries
 # at the same scale: per-bench ns_seq and per-workload latency p99.  The
@@ -143,7 +186,19 @@ if [ -f "$HISTORY" ] && [ -s "$HISTORY" ]; then
       (if $r > $thr then "DRIFT" else "ok" end)
   ' "$CURRENT")
 
-  all_rows=$(printf '%s\n%s\n' "$drift_rows" "$lat_rows" | sed '/^$/d')
+  view_drift_rows=$(jq -r --slurpfile hist "$HISTORY" --argjson thr "$DRIFT_THRESHOLD" '
+    def median: sort | if length == 0 then null else .[(length - 1) / 2 | floor] end;
+    . as $cur
+    | [$hist[] | select(.scale == $cur.scale)] as $h
+    | (($cur.views // {}) | keys | sort | .[]) as $l
+    | ([$h[] | .views[$l].views_ms? // empty] | median) as $med
+    | select($med != null and $med > 0)
+    | ($cur.views[$l].views_ms / $med) as $r
+    | "\($l) views_ms|\($cur.views[$l].views_ms)|\($med)|\($r * 100 | round / 100)x|" +
+      (if $r > $thr then "DRIFT" else "ok" end)
+  ' "$CURRENT")
+
+  all_rows=$(printf '%s\n%s\n%s\n' "$drift_rows" "$lat_rows" "$view_drift_rows" | sed '/^$/d')
   if [ -n "$all_rows" ]; then
     {
       echo ""

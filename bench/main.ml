@@ -49,7 +49,7 @@ type config = {
 let all_experiments =
   [ "table1"; "table2"; "table3"; "table4"; "fig4"; "fig5"; "fig6"; "fig7";
     "fig8"; "fig9"; "fig10"; "ablations"; "minimization"; "workload";
-    "cache"; "admission"; "latency" ]
+    "cache"; "admission"; "latency"; "views" ]
 
 let parse_config () =
   let cfg =
@@ -954,6 +954,115 @@ let latency_experiment ctx =
   check ctx.lubm_s;
   check ctx.dblp
 
+(* ---------- Views: workload-driven materialized views ---------- *)
+
+type views_run = {
+  v_label : string; (* "LUBM-S/ECov" *)
+  v_noviews_ms : float;
+  v_views_ms : float;
+  v_materialize_ms : float; (* per dataset: selection + materialization *)
+  v_selected : int;
+  v_candidates : int;
+  v_bytes : int; (* actual snapshot bytes held *)
+  v_hits : int;
+  v_misses : int;
+}
+
+(* Filled by [views_experiment], written by [write_bench_json]. *)
+let views_runs : views_run list ref = ref []
+
+(* Workload-total answering time with and without the materialized-view
+   tier, per cover strategy, with a bit-identity gate: decoded answers,
+   per-statement operation totals and failure reasons must all match the
+   view-less baseline exactly, or the bench exits 1.
+
+   Both systems share the dataset's store and one fresh cache (so tier-1
+   physical identity holds across them and cover searches hit the same
+   tier-2 memo), with the answer tier off so every measured answer is a
+   real evaluation.  Selection runs before ANY measured evaluation: its
+   fragment preparation lands every plan-time dictionary encode first,
+   which the charge-identity of replayed snapshots depends on.  ECov runs
+   with its wall clock disabled (cover determinism between the selection
+   and measured runs) — affordable on LUBM, far too slow on DBLP's cover
+   spaces, so the DBLP leg measures GCov only, like the cache
+   experiment. *)
+let views_experiment ctx =
+  header "Views: workload answering with and without materialized views";
+  let budget = 64 * 1024 * 1024 in
+  let check dsl strategies =
+    let ds = Lazy.force dsl in
+    let cache = Cache.create ~reformulator:ds.reformulator ds.store in
+    let profile = Engine.Profile.postgres_like in
+    let sys_base = Rqa.Answering.make ~profile ~cache ds.store in
+    let sys_views = Rqa.Answering.make ~profile ~cache ds.store in
+    Cache.set_mode cache Cache.Answers_off;
+    let t0 = now_ms () in
+    let selection =
+      Rqa.View_select.select_and_install
+        ~strategies:(List.map snd strategies) ~budget sys_views ds.queries
+    in
+    let materialize_ms = now_ms () -. t0 in
+    let v = Option.get (Rqa.Answering.views sys_views) in
+    let outcome sys strat q =
+      match Rqa.Answering.answer sys strat q with
+      | r ->
+          let ex = Rqa.Answering.engine sys in
+          Ok
+            ( List.map
+                (List.map Rdf.Term.to_string)
+                (Engine.Executor.decode ex r.Rqa.Answering.answers),
+              Engine.Executor.last_operations ex )
+      | exception Engine.Profile.Engine_failure { reason; _ } ->
+          Error (Engine.Profile.failure_to_string reason)
+    in
+    List.iter
+      (fun (sname, strat) ->
+        let pass sys =
+          let t0 = now_ms () in
+          let rows =
+            List.map (fun (qname, q) -> (qname, outcome sys strat q)) ds.queries
+          in
+          (rows, now_ms () -. t0)
+        in
+        let h0 = Cache.Views.hits v and m0 = Cache.Views.misses v in
+        let base, noviews_ms = pass sys_base in
+        let views, views_ms = pass sys_views in
+        if base <> views then begin
+          Printf.eprintf
+            "views experiment: %s/%s diverged from the view-less baseline\n"
+            ds.label sname;
+          exit 1
+        end;
+        let r =
+          {
+            v_label = ds.label ^ "/" ^ sname;
+            v_noviews_ms = noviews_ms;
+            v_views_ms = views_ms;
+            v_materialize_ms = materialize_ms;
+            v_selected = List.length selection.Rqa.View_select.selected;
+            v_candidates = List.length selection.Rqa.View_select.candidates;
+            v_bytes = Cache.Views.bytes v;
+            v_hits = Cache.Views.hits v - h0;
+            v_misses = Cache.Views.misses v - m0;
+          }
+        in
+        Printf.printf
+          "%-12s no-views %8.1f ms | views %8.1f ms (%5.2fx) | %d/%d views, \
+           %d B, %d hits, %d misses | materialize %.1f ms\n%!"
+          r.v_label r.v_noviews_ms r.v_views_ms
+          (r.v_noviews_ms /. Float.max r.v_views_ms 1e-9)
+          r.v_selected r.v_candidates r.v_bytes r.v_hits r.v_misses
+          r.v_materialize_ms;
+        views_runs := !views_runs @ [ r ])
+      strategies
+  in
+  check ctx.lubm_s
+    [
+      ("ECov", Rqa.Answering.Ecov Rqa.View_select.deterministic_ecov_budget);
+      ("GCov", Rqa.Answering.Gcov);
+    ];
+  check ctx.dblp [ ("GCov", Rqa.Answering.Gcov) ]
+
 (* ---------- Bechamel micro-benchmarks ---------- *)
 
 let read_file path =
@@ -1061,6 +1170,25 @@ let write_bench_json ~scale ~jobs ~scaling results =
              r.l_store_bytes
              (if i = m - 1 then "" else ",")))
       !latency_runs;
+    Buffer.add_string buf "  }"
+  end;
+  if !views_runs <> [] then begin
+    Buffer.add_string buf ",\n  \"views\": {\n";
+    let m = List.length !views_runs in
+    List.iteri
+      (fun i r ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "    %S: {\"noviews_ms\": %.2f, \"views_ms\": %.2f, \
+              \"speedup\": %.2f, \"materialize_ms\": %.2f, \"selected\": %d, \
+              \"candidates\": %d, \"bytes\": %d, \"hits\": %d, \
+              \"misses\": %d}%s\n"
+             r.v_label r.v_noviews_ms r.v_views_ms
+             (r.v_noviews_ms /. Float.max r.v_views_ms 1e-9)
+             r.v_materialize_ms r.v_selected r.v_candidates r.v_bytes r.v_hits
+             r.v_misses
+             (if i = m - 1 then "" else ",")))
+      !views_runs;
     Buffer.add_string buf "  }"
   end;
   (let gc = Gc.quick_stat () in
@@ -1272,6 +1400,7 @@ let () =
   run "cache" cache_experiment;
   run "admission" admission_experiment;
   run "latency" latency_experiment;
+  run "views" views_experiment;
   (match bechamel_measured with
   | Some (results, scaling) ->
       write_bench_json ~scale:cfg.scale ~jobs:cfg.jobs ~scaling results

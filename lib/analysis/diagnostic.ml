@@ -80,6 +80,8 @@ let catalog =
     ("PV007", "operator width differs from its declared column schema");
     ("PV008", "plan fragments do not match the cover's fragments");
     ("RF001", "reformulation too large to verify statically (skipped)");
+    ("RF002", "materialized view definition is not a sound rewrite of the keyed query fragment");
+    ("RF003", "materialized view contents stale (version stamp behind the store) at execution");
     ("CB001", "static lower bound on operations exceeds the budget (provably fails)");
     ("CB002", "static upper bound on operations fits the budget (provably safe)");
     ("CB003", "static lower bound on materialized rows exceeds the profile ceiling");

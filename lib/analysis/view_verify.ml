@@ -1,0 +1,48 @@
+open Query
+
+(* Soundness of serving a materialized view for a query fragment: the
+   stored definition must have exactly the fragment's head (the join
+   columns the JUCQ layer wires by name), and the stored contents must
+   have been recorded from a reformulation with the fragment's arity and
+   union cardinality — the quantities the replayed capacity checks and
+   the column wiring depend on.  Key equality is the caller's lookup
+   premise; these checks catch a definition that matched the key but is
+   not the rewrite the use site would evaluate. *)
+let verify_rewrite ~context ~head ~arity ~terms ~(cq : Bgp.t) ~(ucq : Ucq.t) =
+  let ds = ref [] in
+  let err msg = ds := Diagnostic.error ~code:"RF002" ~context msg :: !ds in
+  let fragment_head = Bgp.head_vars cq in
+  (* α-renaming is fine (the canonical key identifies variables up to
+     renaming); a WIDTH mismatch means the keyed definition cannot be the
+     fragment's rewrite — its columns would not even line up. *)
+  if List.length head <> List.length fragment_head then
+    err
+      (Printf.sprintf
+         "view head (%s) has %d columns but the fragment head (%s) has %d"
+         (String.concat ", " head) (List.length head)
+         (String.concat ", " fragment_head)
+         (List.length fragment_head));
+  if arity <> Ucq.arity ucq then
+    err
+      (Printf.sprintf
+         "view recorded at arity %d but the fragment reformulation has \
+          arity %d"
+         arity (Ucq.arity ucq));
+  if terms <> Ucq.cardinal ucq then
+    err
+      (Printf.sprintf
+         "view recorded from %d union terms but the fragment reformulation \
+          has %d"
+         terms (Ucq.cardinal ucq));
+  List.rev !ds
+
+let verify_freshness ~context ~def_schema ~def_data ~schema ~data =
+  if def_schema = schema && def_data = data then []
+  else
+    [
+      Diagnostic.error ~code:"RF003" ~context
+        (Printf.sprintf
+           "view contents stamped (schema %d, data %d) but the store is at \
+            (schema %d, data %d)"
+           def_schema def_data schema data);
+    ]

@@ -381,3 +381,7 @@ let stats_to_string s =
       tier_to_string "cover" s.cover;
       tier_to_string "answers" s.answer;
     ]
+
+(* Tier 4 lives in its own module; re-exported so users write
+   [Cache.Views]. *)
+module Views = Views

@@ -149,3 +149,8 @@ val add_answer : t -> string -> answer_entry -> unit
 val stats_to_string : stats -> string
 (** One-line rendering: per-tier [hits/lookups] plus eviction and byte
     figures, for CLI output. *)
+
+(** {2 Tier 4: materialized views} *)
+
+module Views : module type of Views
+(** Workload-selected materialized views (see {!Views}). *)

@@ -1,0 +1,72 @@
+(** Tier 4: workload-selected materialized views.
+
+    Holds {!Engine.Executor.fragment_snapshot}s for cover queries chosen
+    by the view selector, keyed by canonical cover-query string and
+    version-stamped against the store.  {!lookup} is the probe
+    {!Engine.Executor.eval_jucq} consults per fragment: on a hit the
+    fragment's reformulate-and-scan pipeline is replaced by a charge-log
+    replay with bit-identical observables.
+
+    Invalidation is incremental: definitions carry a property-code
+    footprint, and a data change only re-records the views whose
+    footprint intersects the changed properties
+    ({!Store.Encoded_store.changes_since}); a schema change rebuilds
+    every definition (reformulations changed generation).  Both happen
+    lazily, on the first probe or {!refresh} after the change. *)
+
+type t
+
+type info = {
+  key : string;  (** canonical cover-query string *)
+  rows : int;  (** deduplicated materialized rows *)
+  bytes : int;  (** approximate heap bytes of the snapshot *)
+  rematerializations : int;  (** contents re-recordings since install *)
+}
+
+val create : reformulate:(Query.Bgp.t -> Query.Ucq.t) -> Store.Encoded_store.t -> t
+(** A view tier over a store.  [reformulate] {e must} be the answering
+    layer's tier-1-backed closure (one physical UCQ per canonical query
+    per schema generation): serve-time soundness is established by
+    pointer identity between a definition's reformulation and the use
+    site's. *)
+
+val install : t -> Query.Bgp.t -> unit
+(** Materializes the cover query as a view (idempotent per canonical
+    key).  Recording runs on a dedicated engine and charges nothing. *)
+
+val lookup :
+  t ->
+  Query.Bgp.t * Query.Ucq.t ->
+  Engine.Executor.fragment_snapshot option
+(** The executor's per-fragment probe (pass [lookup v] as
+    [?views]).  Revalidates against the store versions first, then serves
+    the keyed definition only under physical identity of the
+    reformulations; every hit re-checks soundness (RF002) and freshness
+    (RF003) through {!Analysis.Plan_verify.check_exn}. *)
+
+val refresh : t -> unit
+(** Forces revalidation now (probes also revalidate lazily). *)
+
+val clear : t -> unit
+(** Drops all definitions. *)
+
+val count : t -> int
+(** Installed definitions. *)
+
+val bytes : t -> int
+(** Approximate bytes across all snapshots. *)
+
+val hits : t -> int
+(** Probes served from a view (this instance). *)
+
+val misses : t -> int
+(** Probes that fell back to real evaluation (this instance). *)
+
+val rematerializations : t -> int
+(** Total contents re-recordings across definitions. *)
+
+val definitions : t -> info list
+(** Per-view report rows, in install order. *)
+
+val stats_to_string : t -> string
+(** One-line rendering for CLI output. *)

@@ -38,6 +38,10 @@ type system = {
   mutable saturated : (int * int * Engine.Executor.t) option;
   sat_lock : Mutex.t;
   cache : Cache.t;
+  (* tier 4: workload-selected materialized views.  [None] until the view
+     selector installs some; when present, [run_cover] routes the
+     executor's per-fragment probe through it. *)
+  mutable views : Cache.Views.t option;
   cost : Cost_model.t;
   oracle : cost_oracle;
   (* tier-2/3 key prefix naming everything the costs depend on beside the
@@ -70,6 +74,7 @@ let make ?(profile = Engine.Profile.postgres_like) ?(calibrate = false)
     saturated = None;
     sat_lock = Mutex.create ();
     cache;
+    views = None;
     cost =
       Cost_model.create ~coefficients (Engine.Executor.statistics engine);
     oracle = cost_oracle;
@@ -116,6 +121,23 @@ let saturated_engine s =
       raise e
 
 let cache s = s.cache
+let views s = s.views
+
+let enable_views s =
+  match s.views with
+  | Some v -> v
+  | None ->
+      (* built over this system's tier-1 closure: the physical-identity
+         premise [Views.lookup] serves under *)
+      let v =
+        Cache.Views.create
+          ~reformulate:(fun cq -> Cache.reformulate s.cache cq)
+          (Engine.Executor.store s.engine)
+      in
+      s.views <- Some v;
+      v
+
+let disable_views s = s.views <- None
 let reformulator s = Cache.reformulator s.cache
 let cost_model s = s.cost
 
@@ -239,7 +261,12 @@ let run_cover s strategy q cover ~covers_explored ~planning_start =
   in
   let planning_ms = now_ms () -. planning_start in
   let exec_start = now_ms () in
-  let answers = Engine.Executor.eval_jucq s.engine jucq in
+  let answers =
+    match s.views with
+    | None -> Engine.Executor.eval_jucq s.engine jucq
+    | Some v ->
+        Engine.Executor.eval_jucq ~views:(Cache.Views.lookup v) s.engine jucq
+  in
   {
     answers;
     strategy;

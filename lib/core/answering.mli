@@ -71,6 +71,18 @@ val saturated_engine : system -> Engine.Executor.t
 val cache : system -> Cache.t
 (** The system's cache (shared or private). *)
 
+val views : system -> Cache.Views.t option
+(** The system's tier-4 materialized view set, if enabled. *)
+
+val enable_views : system -> Cache.Views.t
+(** Returns the system's view tier, creating an empty one (bound to this
+    system's store and tier-1 reformulation closure) on first call.
+    Reformulation-strategy answers then probe it per fragment; answers
+    and operation totals are bit-identical with or without views. *)
+
+val disable_views : system -> unit
+(** Detaches the view tier: subsequent answers evaluate every fragment. *)
+
 val reformulator : system -> Reformulation.Reformulate.t
 (** The current schema generation's CQ→UCQ reformulation engine
     ({!Cache.reformulator}).  Do not retain across schema updates. *)

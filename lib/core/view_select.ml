@@ -1,0 +1,185 @@
+open Query
+
+(* Workload-driven materialized view selection.
+
+   The candidate space is exactly the fragments the cover-based answering
+   strategies would evaluate: for every workload query and every strategy
+   of interest, run that strategy's cover search (through the system's
+   shared tier-2 memo — the searches here warm the same cache the answer
+   path reads) and collect the cover queries of the chosen cover.
+   Identical fragments recur across queries and strategies — LUBM's
+   [takesCourse]/[advisor] stars, DBLP's [creator] chains — and are merged
+   by the tier-1 canonical key, so a candidate's benefit aggregates every
+   place the workload would re-evaluate it.
+
+   Scoring.  Evaluating a fragment costs [ucq_cost u] under the system's
+   calibrated Section 4.1 model; serving it from a view costs only the
+   post-scan part the replay still charges — the [c_l·|u|]
+   duplicate-elimination term over the estimated result.  The difference,
+   clamped at zero, is the estimated saving of one use; a candidate's
+   benefit is the sum over its uses.  Its price is the bytes the snapshot
+   would hold (estimated rows × arity words, plus per-term charge-log
+   overhead).  Greedy selection by benefit density (benefit/byte) under
+   the byte budget is the classic knapsack heuristic; ties break on the
+   canonical key so selection is deterministic. *)
+
+type candidate = {
+  key : string;  (* tier-1 canonical key of the cover query *)
+  cq : Bgp.t;  (* a representative cover query for that key *)
+  uses : int;  (* (query, strategy) pairs whose cover contains it *)
+  terms : int;  (* union terms of its reformulation *)
+  est_rows : float;  (* statistics estimate of the materialized rows *)
+  est_bytes : int;  (* estimated snapshot size *)
+  benefit : float;  (* workload-wide estimated cost saved *)
+}
+
+type selection = {
+  budget : int;
+  candidates : candidate list;  (* all scored candidates, density order *)
+  selected : candidate list;  (* the greedy choice, density order *)
+  selected_bytes : int;  (* estimated bytes of [selected] *)
+}
+
+(* The exploration-count half of the default ECov budget, with the
+   wall-clock half disabled: selection and the later measured runs must
+   choose the same covers, and a time budget can trip at different points
+   on warm and cold cost caches. *)
+let deterministic_ecov_budget =
+  { Cover_space.default_budget with Cover_space.max_millis = infinity }
+
+let default_strategies =
+  [ Answering.Ecov deterministic_ecov_budget; Answering.Gcov ]
+
+(* The cover a strategy would choose for a query — [None] for Saturation,
+   which evaluates no fragments and can never use a view. *)
+let cover_of s strategy q =
+  match (strategy : Answering.strategy) with
+  | Answering.Saturation -> None
+  | Answering.Ucq -> Some (Jucq.ucq_cover q)
+  | Answering.Scq -> Some (Jucq.scq_cover q)
+  | Answering.Ecov budget ->
+      Some (Ecov.search ~budget (Answering.objective s q)).Ecov.cover
+  | Answering.Gcov -> Some (Gcov.search (Answering.objective s q)).Gcov.cover
+
+let key_of cq =
+  Bgp.to_string (Bgp.canonical (Bgp.dedup_body (Bgp.normalize cq)))
+
+let candidates ?(strategies = default_strategies) s workload =
+  let cache = Answering.cache s in
+  let cost = Answering.cost_model s in
+  let stats = Engine.Executor.statistics (Answering.engine s) in
+  let refm = Answering.reformulator s in
+  let capacity =
+    (Engine.Executor.profile (Answering.engine s))
+      .Engine.Profile.max_union_terms
+  in
+  let c_l = (Cost_model.coefficients cost).Cost_model.c_l in
+  (* Throwaway engine for plan-time preparation: its plan cache holds the
+     pre-encode compiles of self-encoding fragments (a fragment whose own
+     later disjuncts' head constants make its earlier disjuncts
+     satisfiable), which must not leak into any engine that will answer
+     queries afterwards. *)
+  let prep = Engine.Executor.create (Engine.Executor.store (Answering.engine s)) in
+  (* per canonical key: the scored fragment and how often the workload
+     would evaluate it *)
+  let acc :
+      (string, candidate * float (* per-use benefit *)) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  List.iter
+    (fun (_, q) ->
+      List.iter
+        (fun strategy ->
+          match cover_of s strategy q with
+          | None -> ()
+          | Some cover ->
+              List.iter
+                (fun f ->
+                  let cq = Jucq.cover_query q cover f in
+                  (* a fragment the engine would refuse (union over
+                     capacity) is never evaluated, so a view of it is
+                     never probed — and recording it would build the very
+                     union the refusal avoids *)
+                  if
+                    Reformulation.Reformulate.count_product_bound refm cq
+                    <= capacity
+                  then begin
+                    let key = key_of cq in
+                    match Hashtbl.find_opt acc key with
+                    | Some (c, per_use) ->
+                        Hashtbl.replace acc key
+                          ( {
+                              c with
+                              uses = c.uses + 1;
+                              benefit = c.benefit +. per_use;
+                            },
+                            per_use )
+                    | None ->
+                        let u = Cache.reformulate cache cq in
+                        (* compile now (charge-free): plan-time head
+                           encodes must all land before any snapshot is
+                           recorded or any measured evaluation runs, or
+                           charge streams shift under dictionary growth *)
+                        Engine.Executor.prepare_fragment prep u;
+                        let rows = Store.Statistics.ucq_cardinality stats u in
+                        let per_use =
+                          Float.max 0.
+                            (Cost_model.ucq_cost cost u -. (c_l *. rows))
+                        in
+                        let terms = Ucq.cardinal u in
+                        let bytes =
+                          (int_of_float (Float.min rows 1e15)
+                          * Ucq.arity u * 8)
+                          + (64 * terms) + 128
+                        in
+                        Hashtbl.replace acc key
+                          ( {
+                              key;
+                              cq;
+                              uses = 1;
+                              terms;
+                              est_rows = rows;
+                              est_bytes = bytes;
+                              benefit = per_use;
+                            },
+                            per_use )
+                  end)
+                cover)
+        strategies)
+    workload;
+  let all = Hashtbl.fold (fun _ (c, _) l -> c :: l) acc [] in
+  List.sort
+    (fun a b ->
+      let da = a.benefit /. float_of_int (max 1 a.est_bytes)
+      and db = b.benefit /. float_of_int (max 1 b.est_bytes) in
+      match Float.compare db da with
+      | 0 -> String.compare a.key b.key
+      | c -> c)
+    all
+
+let select ?strategies ~budget s workload =
+  let cands = candidates ?strategies s workload in
+  let selected, bytes =
+    List.fold_left
+      (fun (sel, used) c ->
+        if c.benefit > 0. && used + c.est_bytes <= budget then
+          (c :: sel, used + c.est_bytes)
+        else (sel, used))
+      ([], 0) cands
+  in
+  {
+    budget;
+    candidates = cands;
+    selected = List.rev selected;
+    selected_bytes = bytes;
+  }
+
+let install s selection =
+  let v = Answering.enable_views s in
+  List.iter (fun c -> Cache.Views.install v c.cq) selection.selected;
+  v
+
+let select_and_install ?strategies ~budget s workload =
+  let selection = select ?strategies ~budget s workload in
+  let _ = install s selection in
+  selection

@@ -1,0 +1,69 @@
+(** Workload-driven materialized view selection.
+
+    Enumerates candidate views from the fragments the cover-based
+    strategies (default: ECov and GCov) would evaluate over a workload —
+    the cover queries their searches choose, merged across queries and
+    strategies by the tier-1 canonical key — scores each by estimated
+    workload-wide cost saved per materialized byte, and greedily packs
+    them under a byte budget.  {!install} materializes the winners into
+    the system's {!Cache.Views} tier, after which reformulation-strategy
+    answers serve matching fragments from the views with bit-identical
+    answers and operation totals. *)
+
+type candidate = {
+  key : string;  (** tier-1 canonical key of the cover query *)
+  cq : Query.Bgp.t;  (** a representative cover query for that key *)
+  uses : int;  (** (query, strategy) pairs whose cover contains it *)
+  terms : int;  (** union terms of its reformulation *)
+  est_rows : float;  (** statistics estimate of the materialized rows *)
+  est_bytes : int;  (** estimated snapshot size *)
+  benefit : float;  (** workload-wide estimated cost saved *)
+}
+
+type selection = {
+  budget : int;  (** the byte budget selection ran under *)
+  candidates : candidate list;  (** all scored candidates, best-first *)
+  selected : candidate list;  (** the greedy choice, best-first *)
+  selected_bytes : int;  (** estimated bytes of [selected] *)
+}
+
+val deterministic_ecov_budget : Cover_space.budget
+(** The default ECov enumeration budget with the wall-clock half disabled:
+    cover choice must be reproducible between selection and the measured
+    runs, and a time budget can trip at different points on warm and cold
+    cost caches. *)
+
+val default_strategies : Answering.strategy list
+(** [ECov {!deterministic_ecov_budget}; GCov] — the cover-based
+    strategies whose fragments the selector mines by default. *)
+
+val candidates :
+  ?strategies:Answering.strategy list ->
+  Answering.system ->
+  (string * Query.Bgp.t) list ->
+  candidate list
+(** Scored candidates for a named-query workload, in decreasing
+    benefit-density order (ties on the canonical key).  Runs each
+    strategy's cover search per query through the system's shared tier-2
+    memo, so the work also warms the cache the answer path reads. *)
+
+val select :
+  ?strategies:Answering.strategy list ->
+  budget:int ->
+  Answering.system ->
+  (string * Query.Bgp.t) list ->
+  selection
+(** Greedy selection under [budget] estimated bytes: walk candidates in
+    density order, keep those with positive benefit that still fit. *)
+
+val install : Answering.system -> selection -> Cache.Views.t
+(** Materializes the selection into the system's view tier (created via
+    {!Answering.enable_views} if absent) and returns it. *)
+
+val select_and_install :
+  ?strategies:Answering.strategy list ->
+  budget:int ->
+  Answering.system ->
+  (string * Query.Bgp.t) list ->
+  selection
+(** {!select} followed by {!install}. *)

@@ -715,6 +715,116 @@ let dedup_rel ?stats t rel =
     ~morsel:(Profile.morsel_size t.profile)
     rel
 
+(* ---- materialized fragment snapshots (the view tier's execution half) ----
+
+   A {e fragment snapshot} is the record-and-replay image of one fragment
+   UCQ evaluation: per-disjunct charge logs, the cumulative pre-dedup row
+   counts the per-disjunct materialization checks observe, and the
+   deduplicated result relation.  Recording never touches the recording
+   engine's meters (charges go to private, unbounded logs); replaying
+   through the real {!charge} on a using engine reproduces, observable
+   for observable, what {!eval_ucq_fragment} would have done for a
+   structurally identical UCQ on the same store state — the same charge
+   stream, the same budget-failure point, the same materialization
+   checks, the same rows in the same order.  This is what lets a
+   materialized view stand in for a fragment's reformulate+scan pipeline
+   without perturbing any engine-profile semantics: charges depend only
+   on the store's selections and the statistics-driven plan order, never
+   on the profile, so one snapshot serves every profile (each applies its
+   own limits at replay time). *)
+
+type fragment_snapshot = {
+  fs_terms : int;  (* [Ucq.cardinal] at record time *)
+  fs_arity : int;
+  fs_logs : charge_log array;  (* one untruncated log per disjunct *)
+  fs_cum : int array;  (* accumulated pre-dedup rows after each disjunct *)
+  fs_pre : int;  (* total pre-dedup rows *)
+  fs_rel : Relation.t;  (* deduplicated result; never mutated *)
+}
+
+let snapshot_rows s = Relation.rows s.fs_rel
+let snapshot_terms s = s.fs_terms
+let snapshot_arity s = s.fs_arity
+
+let snapshot_bytes s =
+  let log_words =
+    Array.fold_left
+      (fun acc l -> acc + (2 * Store.Intvec.length l.cvals) + 4)
+      0 s.fs_logs
+  in
+  8
+  * ((Relation.rows s.fs_rel * Relation.cols s.fs_rel)
+    + log_words + Array.length s.fs_cum + 8)
+
+(* Forces plan compilation for a fragment, including the on-demand
+   dictionary encoding of reformulation-head constants [compile] performs.
+   Charge-free.  The view layer calls this for {e every} candidate
+   fragment before recording any snapshot: compile-time encodes grow the
+   dictionary, and a body constant that is absent compiles to no plan
+   (zero charges) while the same constant present-but-empty scans one
+   empty selection (one charge) — so recorded charge streams are only
+   stable once all such encodes have happened. *)
+let prepare_fragment t (u : Ucq.t) = ignore (ucq_plans t u)
+
+(* Materializes one fragment UCQ into a snapshot.  Sequential on purpose:
+   the plain [exec_cq] per disjunct is the canonical charge stream the
+   morsel and fan-out paths are bit-identical to.  The recording engine's
+   own counters are untouched — materialization is charge-invisible, so a
+   workload's operation totals are identical with the view tier on or
+   off. *)
+let record_fragment t (u : Ucq.t) =
+  let plans = ucq_plans t u in
+  let n = Array.length plans in
+  let out = Relation.create ~cols:(Ucq.arity u) in
+  let logs = Array.init n (fun _ -> charge_log max_int) in
+  let cum = Array.make n 0 in
+  Array.iteri
+    (fun i p ->
+      (match p with
+      | None -> ()
+      | Some p ->
+          exec_cq t
+            ~charge:(record logs.(i))
+            p
+            ~emit:(fun row -> Relation.append out row));
+      cum.(i) <- Relation.rows out)
+    plans;
+  {
+    fs_terms = Ucq.cardinal u;
+    fs_arity = Ucq.arity u;
+    fs_logs = logs;
+    fs_cum = cum;
+    fs_pre = Relation.rows out;
+    fs_rel = Relation.dedup out;
+  }
+
+(* Count-only materialization ceiling check: what [check_materialization]
+   would have said about a relation a replay does not rebuild. *)
+let check_rows t rows =
+  if rows > t.profile.Profile.max_materialized_rows then
+    fail t
+      (Profile.Materialization_overflow
+         { rows; limit = t.profile.Profile.max_materialized_rows })
+
+(* Replays a snapshot on a using engine, mirroring [eval_ucq_fragment]
+   observable for observable: the union-capacity pre-check with the using
+   profile, each disjunct's charges followed by the cumulative
+   materialization check, the epilogue's pre-dedup bulk charge, and the
+   post-dedup ceiling check. *)
+let replay_fragment_snapshot t (s : fragment_snapshot) =
+  if s.fs_terms > t.profile.Profile.max_union_terms then
+    fail t
+      (Profile.Union_capacity
+         { terms = s.fs_terms; limit = t.profile.Profile.max_union_terms });
+  Array.iteri
+    (fun i log ->
+      replay t log;
+      check_rows t s.fs_cum.(i))
+    s.fs_logs;
+  charge t s.fs_pre;
+  check_rows t (Relation.rows s.fs_rel);
+  s.fs_rel
+
 let eval_cq t (q : Bgp.t) =
   begin_statement t;
   Analysis.Plan_verify.check_exn (fun () ->
@@ -1305,7 +1415,7 @@ let jucq_final_estimate t (j : Jucq.t) =
   | [] -> 1.0
   | _ -> Store.Statistics.cq_cardinality t.stats (Bgp.make head_vars atoms)
 
-let eval_jucq t (j : Jucq.t) =
+let eval_jucq ?views t (j : Jucq.t) =
   begin_statement t;
   (* Static plan verification (test/debug builds and RDFQA_VERIFY=1): a
      schema or arity violation in a compiled plan must reject the
@@ -1326,34 +1436,57 @@ let eval_jucq t (j : Jucq.t) =
   Obs.Span.with_ "exec.jucq" @@ fun sp ->
   let tr = Obs.enabled () in
   let pool = Par.get () in
+  (* View probes are bypassed while tracing: a snapshot carries no
+     per-disjunct op-stats, and the charge contract makes the fallback
+     evaluation bit-identical anyway — traced statements just show the
+     real pipeline. *)
+  let lookup : Bgp.t * Ucq.t -> fragment_snapshot option =
+    match views with Some f when not tr -> f | _ -> fun _ -> None
+  in
+  let hit_input (cq : Bgp.t) snap =
+    let rel = replay_fragment_snapshot t snap in
+    { jnr = { columns = Bgp.head_vars cq; rel }; jatoms = []; jtree = None }
+  in
   let fragments =
     if Par.jobs pool <= 1 then
       List.map
         (fun ((cq : Bgp.t), u) ->
-          let label = if tr then "fragment " ^ Bgp.to_string cq else "" in
-          let rel, tree = eval_ucq_fragment t ~label u in
-          {
-            jnr = { columns = Bgp.head_vars cq; rel };
-            jatoms = (if tr then cq.Bgp.body else []);
-            jtree = tree;
-          })
+          match lookup (cq, u) with
+          | Some snap -> hit_input cq snap
+          | None ->
+              let label = if tr then "fragment " ^ Bgp.to_string cq else "" in
+              let rel, tree = eval_ucq_fragment t ~label u in
+              {
+                jnr = { columns = Bgp.head_vars cq; rel };
+                jatoms = (if tr then cq.Bgp.body else []);
+                jtree = tree;
+              })
         j.Jucq.fragments
     else begin
       (* Materialize every fragment concurrently: compile all plans on the
          coordinator, flatten (fragment, disjunct) into one task batch so
          small fragments do not serialize behind large ones, then merge
          fragment by fragment in list order — the charge stream is exactly
-         the sequential one. *)
+         the sequential one.  View-served fragments never enter the task
+         batch: their logs replay on the coordinator at merge position,
+         exactly where the sequential path replays them. *)
       let frags =
-        List.map (fun ((cq, u) : Bgp.t * Ucq.t) -> ((cq, u), ucq_plans t u))
+        List.map
+          (fun ((cq, u) : Bgp.t * Ucq.t) ->
+            match lookup (cq, u) with
+            | Some snap -> ((cq, u), `Snap snap)
+            | None -> ((cq, u), `Plans (ucq_plans t u)))
           j.Jucq.fragments
       in
       let tasks =
         Array.of_list
           (List.concat_map
-             (fun ((_, u), plans) ->
-               let cols = Ucq.arity u in
-               Array.to_list (Array.map (fun p -> (cols, p)) plans))
+             (fun ((_, u), how) ->
+               match how with
+               | `Snap _ -> []
+               | `Plans plans ->
+                   let cols = Ucq.arity u in
+                   Array.to_list (Array.map (fun p -> (cols, p)) plans))
              frags)
       in
       let results =
@@ -1363,17 +1496,20 @@ let eval_jucq t (j : Jucq.t) =
       in
       let off = ref 0 in
       List.map
-        (fun (((cq : Bgp.t), u), plans) ->
-          let k = Array.length plans in
-          let slice = Array.sub results !off k in
-          off := !off + k;
-          let label = if tr then "fragment " ^ Bgp.to_string cq else "" in
-          let rel, tree = merge_fragment t ~label u plans slice in
-          {
-            jnr = { columns = Bgp.head_vars cq; rel };
-            jatoms = (if tr then cq.Bgp.body else []);
-            jtree = tree;
-          })
+        (fun (((cq : Bgp.t), u), how) ->
+          match how with
+          | `Snap snap -> hit_input cq snap
+          | `Plans plans ->
+              let k = Array.length plans in
+              let slice = Array.sub results !off k in
+              off := !off + k;
+              let label = if tr then "fragment " ^ Bgp.to_string cq else "" in
+              let rel, tree = merge_fragment t ~label u plans slice in
+              {
+                jnr = { columns = Bgp.head_vars cq; rel };
+                jatoms = (if tr then cq.Bgp.body else []);
+                jtree = tree;
+              })
         frags
     end
   in

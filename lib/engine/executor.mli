@@ -77,8 +77,60 @@ val eval_ucq : t -> Query.Ucq.t -> Relation.t
 (** Evaluates a UCQ: union of member CQs, deduplicated.
     @raise Profile.Engine_failure on capacity/budget violations. *)
 
-val eval_jucq : t -> Query.Jucq.t -> Relation.t
+type fragment_snapshot
+(** The record-and-replay image of one fragment UCQ evaluation: the
+    per-disjunct charge logs, the row counts the materialization checks
+    observe, and the deduplicated result relation — a materialized view's
+    execution-side representation.  Recording is charge-invisible to the
+    recording engine; replaying on a using engine reproduces exactly the
+    observables of evaluating a structurally identical UCQ on the same
+    store state (charge stream, budget-failure point, capacity checks,
+    rows and their order), so answers and operation totals are
+    bit-identical whether a fragment is evaluated or served from a
+    snapshot. *)
+
+val prepare_fragment : t -> Query.Ucq.t -> unit
+(** Forces plan compilation for a fragment UCQ, including the on-demand
+    dictionary encoding of reformulation-head constants.  Charge-free.
+    Call it for every fragment a workload may evaluate {e before}
+    recording any snapshot: the dictionary must be stable for recorded
+    charge streams to match later live evaluations (an absent body
+    constant compiles to no plan; the same constant merely empty charges
+    one empty selection). *)
+
+val record_fragment : t -> Query.Ucq.t -> fragment_snapshot
+(** Materializes a fragment UCQ into a snapshot.  Never charges this
+    engine and never fails on its budgets: capacity limits are the using
+    engine's business, applied at replay time.  Must be re-recorded when
+    the store's contents change (the view tier's invalidation rules). *)
+
+val snapshot_rows : fragment_snapshot -> int
+(** Rows of the deduplicated materialized relation. *)
+
+val snapshot_bytes : fragment_snapshot -> int
+(** Approximate heap bytes held by the snapshot (relation + charge
+    logs). *)
+
+val snapshot_terms : fragment_snapshot -> int
+(** [Ucq.cardinal] of the recorded fragment (the using engine's
+    union-capacity pre-check replays against it). *)
+
+val snapshot_arity : fragment_snapshot -> int
+(** Head arity of the recorded fragment. *)
+
+val eval_jucq :
+  ?views:(Query.Bgp.t * Query.Ucq.t -> fragment_snapshot option) ->
+  t ->
+  Query.Jucq.t ->
+  Relation.t
 (** Evaluates a JUCQ reformulation: fragments materialized then joined.
+    [?views] is probed once per fragment with the fragment's cover query
+    and reformulation; a returned snapshot replaces the fragment's
+    evaluation by a charge-log replay (bit-identical observables — the
+    caller is responsible for only serving snapshots recorded from a
+    structurally identical UCQ on the current store state).  Probes are
+    bypassed while {!Obs.enabled} tracing is on (traced statements show
+    the real pipeline).
     @raise Profile.Engine_failure on capacity/budget violations. *)
 
 val decode : t -> Relation.t -> Rdf.Term.t list list

@@ -11,6 +11,7 @@
 #                         unknown, skipped}},
 #    "latency":  {label: {answers, p50_ms, p90_ms, p99_ms, max_ms,
 #                         store_bytes}},
+#    "views":    {label: {noviews_ms, views_ms, speedup, materialize_ms}},
 #    "gc":       {minor_collections, major_collections, heap_words}}
 # scripts/gen_trend.sh turns the log into the static trend page, and
 # bench/check_regression.sh warns when the current run drifts past the
@@ -47,6 +48,9 @@ jq -c --arg commit "$commit" --arg date "$date" '
                 | with_entries(.value |= {queries, provably_safe,
                                           provably_fails, unknown, skipped})),
     latency: (.latency // {}),
+    views: ((.views // {})
+            | with_entries(.value |= {noviews_ms, views_ms, speedup,
+                                      materialize_ms})),
     gc: (.gc // {})
   }' "$CURRENT" >> "$HISTORY"
 

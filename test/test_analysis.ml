@@ -227,6 +227,51 @@ let test_executor_rejects () =
      with Analysis.Plan_verify.Rejected ds ->
        Analysis.Diagnostic.has_errors ds)
 
+(* ---- view serve-time checks: RF002 (unsound rewrite) / RF003 (stale) ---- *)
+
+(* q(x,y) :- x worksFor y, with its identity reformulation standing in
+   for a materialized definition. *)
+let view_cq = Bgp.make [ v "x"; v "y" ] [ t1 ]
+let view_ucq = identity view_cq
+
+let view_rewrite ?head ?arity ?terms () =
+  let head = Option.value head ~default:(Bgp.head_vars view_cq) in
+  let arity = Option.value arity ~default:(Ucq.arity view_ucq) in
+  let terms = Option.value terms ~default:(Ucq.cardinal view_ucq) in
+  Analysis.View_verify.verify_rewrite ~context:"mut" ~head ~arity ~terms
+    ~cq:view_cq ~ucq:view_ucq
+
+let test_view_rewrite_clean () =
+  Alcotest.(check (list string)) "sound rewrite is clean" []
+    (codes (view_rewrite ()));
+  (* α-renaming changes head NAMES but not widths — must stay clean *)
+  Alcotest.(check (list string)) "renamed head is clean" []
+    (codes (view_rewrite ~head:[ "s"; "w" ] ()))
+
+let test_v1_head_width () =
+  check_has_error "dropped head column" "RF002"
+    (view_rewrite ~head:[ "x" ] ())
+
+let test_v2_recorded_arity () =
+  check_has_error "arity drift" "RF002"
+    (view_rewrite ~arity:(Ucq.arity view_ucq + 1) ())
+
+let test_v3_recorded_terms () =
+  check_has_error "union-cardinality drift" "RF002"
+    (view_rewrite ~terms:(Ucq.cardinal view_ucq + 1) ())
+
+let test_view_freshness () =
+  let fresh ~def_schema ~def_data ~schema ~data =
+    Analysis.View_verify.verify_freshness ~context:"mut" ~def_schema
+      ~def_data ~schema ~data
+  in
+  Alcotest.(check (list string)) "matching stamps are clean" []
+    (codes (fresh ~def_schema:3 ~def_data:7 ~schema:3 ~data:7));
+  check_has_error "stale data stamp" "RF003"
+    (fresh ~def_schema:3 ~def_data:6 ~schema:3 ~data:7);
+  check_has_error "stale schema stamp" "RF003"
+    (fresh ~def_schema:2 ~def_data:7 ~schema:3 ~data:7)
+
 (* ---- every emitted code is documented ---- *)
 
 let test_catalog_complete () =
@@ -237,6 +282,9 @@ let test_catalog_complete () =
         Analysis.Cover_check.check ~context:"c" q [ [ 1; 2 ]; [] ];
         Analysis.Query_lint.lint ~schema ~context:"c"
           { Bgp.head = [ v "nope" ]; body = [ t1; t1 ] };
+        view_rewrite ~head:[ "x" ] ~arity:0 ~terms:0 ();
+        Analysis.View_verify.verify_freshness ~context:"c" ~def_schema:0
+          ~def_data:0 ~schema:1 ~data:1;
       ]
   in
   List.iter
@@ -293,6 +341,17 @@ let () =
         [
           Alcotest.test_case "executor rejects mutant" `Quick test_executor_rejects;
           Alcotest.test_case "catalog complete" `Quick test_catalog_complete;
+        ] );
+      ( "views",
+        [
+          Alcotest.test_case "sound rewrite clean" `Quick
+            test_view_rewrite_clean;
+          Alcotest.test_case "V1 head width" `Quick test_v1_head_width;
+          Alcotest.test_case "V2 recorded arity" `Quick
+            test_v2_recorded_arity;
+          Alcotest.test_case "V3 recorded terms" `Quick
+            test_v3_recorded_terms;
+          Alcotest.test_case "RF003 stale stamps" `Quick test_view_freshness;
         ] );
       ( "workloads",
         [

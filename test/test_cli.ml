@@ -368,11 +368,16 @@ let metrics_validator =
   List.find Sys.file_exists
     [ "./validate_metrics.exe"; "_build/default/test/validate_metrics.exe" ]
 
-let validate_metrics path =
+let validate_metrics ?(require = []) path =
   let out = Filename.temp_file "rqa_cli" ".out" in
+  let req =
+    match require with
+    | [] -> ""
+    | fams -> Printf.sprintf "--require %s " (String.concat "," fams)
+  in
   let code =
     Sys.command
-      (Printf.sprintf "%s %s > %s 2>&1" metrics_validator
+      (Printf.sprintf "%s %s%s > %s 2>&1" metrics_validator req
          (Filename.quote path) (Filename.quote out))
   in
   let body = read_file out in
@@ -393,8 +398,32 @@ let test_stats () =
     (contains body "query.latency_ms");
   Alcotest.(check bool) "admission tallies reported" true
     (contains body "admission.");
-  let pcode, pbody = validate_metrics prom in
-  let jcode, jbody = validate_metrics jsonl in
+  (* the view tier's families must be registered (hence exported) even
+     when no views were installed during the run *)
+  let pcode, pbody =
+    validate_metrics
+      ~require:
+        [
+          "rdfqa_views_hits_total";
+          "rdfqa_views_misses_total";
+          "rdfqa_views_rematerializations_total";
+          "rdfqa_views_count";
+          "rdfqa_views_bytes";
+        ]
+      prom
+  in
+  let jcode, jbody =
+    validate_metrics
+      ~require:
+        [
+          "views.hits";
+          "views.misses";
+          "views.rematerializations";
+          "views.count";
+          "views.bytes";
+        ]
+      jsonl
+  in
   Sys.remove prom;
   Sys.remove jsonl;
   Alcotest.(check int) "prometheus validates" 0 pcode;

@@ -1,0 +1,343 @@
+(* Tests for the materialized-view tier (Cache.Views) and workload-driven
+   selection (Rqa.View_select): serving must be observably invisible —
+   decoded answers, per-statement operation totals and failure reasons
+   bit-identical with views on and off, across engine profiles and jobs
+   settings — and maintenance must be incremental: a data change
+   re-records only the views whose property footprint it touches, and the
+   incrementally maintained contents must match a from-scratch rebuild. *)
+
+open Query
+module Es = Store.Encoded_store
+
+(* Every plan compiled while this suite runs goes through the static
+   verifier, which also arms the RF002/RF003 serve-time tripwires. *)
+let () = Analysis.Plan_verify.set_enabled true
+
+let u s = Rdf.Term.uri s
+let tr s p o = Rdf.Triple.make s p o
+let typ = Rdf.Vocab.rdf_type
+let v x = Bgp.Var x
+let c t = Bgp.Const t
+
+let schema =
+  Rdf.Schema.of_constraints
+    [
+      Rdf.Schema.Subclass (u "GradStudent", u "Student");
+      Rdf.Schema.Subclass (u "Student", u "Person");
+      Rdf.Schema.Subproperty (u "worksFor", u "memberOf");
+      Rdf.Schema.Domain (u "memberOf", u "Person");
+      Rdf.Schema.Range (u "memberOf", u "Org");
+      Rdf.Schema.Subproperty (u "mastersFrom", u "degreeFrom");
+      Rdf.Schema.Subproperty (u "doctorFrom", u "degreeFrom");
+    ]
+
+(* Every schema term also appears in a fact, so each property constant a
+   reformulation mentions is in the dictionary and view footprints stay
+   [Props] (an unencodable constant widens a footprint to [Universal],
+   which would defeat the incrementality this suite asserts). *)
+let base_facts =
+  tr (u "p0") (u "degreeFrom") (u "univ1")
+  :: tr (u "p0") (u "memberOf") (u "org0")
+  :: tr (u "p0") typ (u "Person")
+  :: tr (u "p1") typ (u "Student")
+  :: List.concat
+       (List.init 60 (fun i ->
+            let p = u (Printf.sprintf "person%d" i) in
+            [
+              tr p typ (u (if i mod 3 = 0 then "GradStudent" else "Student"));
+              tr p (u "worksFor") (u (Printf.sprintf "org%d" (i mod 4)));
+              tr p
+                (u (if i mod 2 = 0 then "mastersFrom" else "doctorFrom"))
+                (u (Printf.sprintf "univ%d" (i mod 3)));
+            ]))
+
+let graph () = Rdf.Graph.make schema base_facts
+let fresh_store () = Es.of_graph (graph ())
+
+(* A workload whose covers share fragments across queries — the single
+   atoms recur inside the join queries — plus an α-renamed duplicate, so
+   serving must work across variable renamings (same canonical key, same
+   physical tier-1 reformulation, different head variable names). *)
+let q_type = Bgp.make [ v "x"; v "y" ] [ Bgp.atom (v "x") (c typ) (v "y") ]
+
+let q_degree =
+  Bgp.make [ v "x" ]
+    [ Bgp.atom (v "x") (c (u "degreeFrom")) (c (u "univ1")) ]
+
+let q_member =
+  Bgp.make [ v "x"; v "o" ] [ Bgp.atom (v "x") (c (u "memberOf")) (v "o") ]
+
+let q_join =
+  Bgp.make [ v "x"; v "y" ]
+    [
+      Bgp.atom (v "x") (c typ) (v "y");
+      Bgp.atom (v "x") (c (u "degreeFrom")) (c (u "univ1"));
+      Bgp.atom (v "x") (c (u "memberOf")) (c (u "org2"));
+    ]
+
+let q_member_renamed =
+  Bgp.make [ v "s"; v "w" ] [ Bgp.atom (v "s") (c (u "memberOf")) (v "w") ]
+
+let workload =
+  [
+    ("q_type", q_type);
+    ("q_degree", q_degree);
+    ("q_member", q_member);
+    ("q_join", q_join);
+    ("q_member_renamed", q_member_renamed);
+  ]
+
+let budget = 64 * 1024 * 1024
+
+(* Two systems over ONE store and ONE cache: tier-1 physical identity
+   (the serve-time soundness premise) holds across them, and the answer
+   tier is off so every measured answer is a real evaluation. *)
+let fresh_pair ?(profile = Engine.Profile.postgres_like) () =
+  let store = fresh_store () in
+  let cache = Cache.create store in
+  let sys_base = Rqa.Answering.make ~profile ~cache store in
+  let sys_views = Rqa.Answering.make ~profile ~cache store in
+  Cache.set_mode cache Cache.Answers_off;
+  (store, sys_base, sys_views)
+
+(* Everything views could observably change about one statement: decoded
+   rows, the per-statement operation total, or the failure reason. *)
+let outcome sys strat q =
+  match Rqa.Answering.answer sys strat q with
+  | r ->
+      let ex = Rqa.Answering.engine sys in
+      Ok
+        ( List.map
+            (List.map Rdf.Term.to_string)
+            (Engine.Executor.decode ex r.Rqa.Answering.answers),
+          Engine.Executor.last_operations ex )
+  | exception Engine.Profile.Engine_failure { reason; _ } ->
+      Error (Engine.Profile.failure_to_string reason)
+
+let strategies = Rqa.View_select.default_strategies
+
+let check_agreement ~msg sys_base sys_views =
+  List.iter
+    (fun strat ->
+      List.iter
+        (fun (name, q) ->
+          let b = outcome sys_base strat q and w = outcome sys_views strat q in
+          if b <> w then
+            Alcotest.fail
+              (Printf.sprintf "%s: %s/%s diverges with views on" msg name
+                 (Rqa.Answering.strategy_name strat)))
+        workload)
+    strategies
+
+(* ---- bit-identity across profiles × jobs ---- *)
+
+let test_differential_profiles_jobs () =
+  List.iter
+    (fun profile ->
+      List.iter
+        (fun jobs ->
+          Par.set_jobs jobs;
+          let _store, sys_base, sys_views = fresh_pair ~profile () in
+          let sel =
+            Rqa.View_select.select_and_install ~budget sys_views workload
+          in
+          Alcotest.(check bool)
+            "selection is non-empty" true
+            (sel.Rqa.View_select.selected <> []);
+          let vt = Option.get (Rqa.Answering.views sys_views) in
+          check_agreement
+            ~msg:
+              (Printf.sprintf "%s/jobs=%d" profile.Engine.Profile.name jobs)
+            sys_base sys_views;
+          Alcotest.(check bool)
+            "views actually served" true
+            (Cache.Views.hits vt > 0);
+          (* under the permissive profile nothing is capacity-refused, the
+             budget holds every candidate, and selection mined exactly the
+             strategies measured — so every fragment evaluation must hit,
+             including the α-renamed duplicate's *)
+          if profile == Engine.Profile.postgres_like then
+            Alcotest.(check int) "no misses" 0 (Cache.Views.misses vt))
+        [ 1; 4 ])
+    [
+      Engine.Profile.postgres_like;
+      Engine.Profile.db2_like;
+      Engine.Profile.mysql_like;
+    ];
+  Par.set_jobs 1
+
+(* ---- selection mechanics ---- *)
+
+let test_budget_zero_selects_nothing () =
+  let _store, sys_base, sys_views = fresh_pair () in
+  let sel =
+    Rqa.View_select.select_and_install ~budget:0 sys_views workload
+  in
+  Alcotest.(check int) "nothing selected" 0
+    (List.length sel.Rqa.View_select.selected);
+  Alcotest.(check bool)
+    "candidates still scored" true
+    (sel.Rqa.View_select.candidates <> []);
+  (* an empty view tier must still answer identically (all misses) *)
+  check_agreement ~msg:"budget=0" sys_base sys_views
+
+let test_selection_deterministic () =
+  let select () =
+    let _store, _sys_base, sys_views = fresh_pair () in
+    let sel = Rqa.View_select.select ~budget sys_views workload in
+    List.map
+      (fun (cand : Rqa.View_select.candidate) ->
+        (cand.Rqa.View_select.key, cand.Rqa.View_select.uses))
+      sel.Rqa.View_select.candidates
+  in
+  Alcotest.(check (list (pair string int)))
+    "same candidates in the same order on a rebuilt store" (select ())
+    (select ())
+
+(* ---- incremental maintenance ---- *)
+
+(* Manual installs pin down exactly which footprints exist:
+   [q_degree]'s reformulation mentions only degreeFrom/mastersFrom/
+   doctorFrom, [q_member]'s only memberOf/worksFor — disjoint, so each
+   mutation below must re-record one and merely restamp the other. *)
+let test_incremental_footprint () =
+  Par.set_jobs 1;
+  let store, sys_base, sys_views = fresh_pair () in
+  let vt = Rqa.Answering.enable_views sys_views in
+  Cache.Views.install vt q_degree;
+  Cache.Views.install vt q_member;
+  let remats () =
+    List.map
+      (fun (i : Cache.Views.info) -> i.Cache.Views.rematerializations)
+      (Cache.Views.definitions vt)
+  in
+  Alcotest.(check (list int)) "freshly installed" [ 0; 0 ] (remats ());
+  (* a memberOf-footprint fact: only the member view re-records *)
+  Es.insert store (tr (u "personNew") (u "worksFor") (u "org1"));
+  Cache.Views.refresh vt;
+  Alcotest.(check (list int)) "worksFor insert" [ 0; 1 ] (remats ());
+  (* a degreeFrom-footprint fact: only the degree view re-records *)
+  Es.insert store (tr (u "personNew") (u "mastersFrom") (u "univ1"));
+  Cache.Views.refresh vt;
+  Alcotest.(check (list int)) "mastersFrom insert" [ 1; 1 ] (remats ());
+  (* a property no reformulation mentions: both merely restamp *)
+  Es.insert store (tr (u "personNew") (u "unrelatedProp") (u "z"));
+  Cache.Views.refresh vt;
+  Alcotest.(check (list int)) "unrelated insert" [ 1; 1 ] (remats ());
+  (* a delete compacts the store (swap-remove); only the touched
+     footprint re-records, and serving stays bit-identical *)
+  Alcotest.(check bool) "delete effective" true
+    (Es.delete store (tr (u "person0") (u "mastersFrom") (u "univ0")));
+  Cache.Views.refresh vt;
+  Alcotest.(check (list int)) "mastersFrom delete" [ 2; 1 ] (remats ());
+  check_agreement ~msg:"after interleaved inserts/deletes" sys_base sys_views;
+  (* the incrementally maintained contents must equal a from-scratch
+     rebuild over the mutated store: same keys, same rows, same bytes *)
+  let cache2 = Cache.create store in
+  let sys_cold =
+    Rqa.Answering.make ~profile:Engine.Profile.postgres_like ~cache:cache2
+      store
+  in
+  Cache.set_mode cache2 Cache.Answers_off;
+  let vc = Rqa.Answering.enable_views sys_cold in
+  Cache.Views.install vc q_degree;
+  Cache.Views.install vc q_member;
+  let shape vt' =
+    List.map
+      (fun (i : Cache.Views.info) ->
+        (i.Cache.Views.key, i.Cache.Views.rows, i.Cache.Views.bytes))
+      (Cache.Views.definitions vt')
+  in
+  Alcotest.(check (list (triple string int int)))
+    "incremental contents = cold rebuild" (shape vc) (shape vt);
+  check_agreement ~msg:"cold rebuild" sys_base sys_cold
+
+(* ---- qcheck: bit-identity under random insert/delete interleavings ---- *)
+
+(* Toggle pool spanning every footprint plus a never-mentioned property;
+   an op deletes its triple when present and inserts it otherwise. *)
+let pool =
+  [|
+    tr (u "m0") (u "worksFor") (u "orgM");
+    tr (u "m1") (u "memberOf") (u "orgM");
+    tr (u "m2") (u "mastersFrom") (u "univ1");
+    tr (u "m3") (u "doctorFrom") (u "univ2");
+    tr (u "m4") typ (u "GradStudent");
+    tr (u "m5") typ (u "Person");
+    tr (u "m6") (u "unrelatedProp") (u "z0");
+    tr (u "person0") (u "worksFor") (u "org0");
+  |]
+
+let prop_mutation_interleaving =
+  QCheck2.Test.make ~count:25
+    ~name:"views bit-identical under random insert/delete interleavings"
+    QCheck2.Gen.(list_size (int_range 1 8) (int_bound (Array.length pool - 1)))
+    (fun ops ->
+      Par.set_jobs 1;
+      let store, sys_base, sys_views = fresh_pair () in
+      let _sel =
+        Rqa.View_select.select_and_install ~budget sys_views workload
+      in
+      let agree () =
+        List.for_all
+          (fun strat ->
+            List.for_all
+              (fun (_, q) ->
+                outcome sys_base strat q = outcome sys_views strat q)
+              workload)
+          strategies
+      in
+      agree ()
+      && List.for_all
+           (fun i ->
+             let t = pool.(i) in
+             if not (Es.delete store t) then Es.insert store t;
+             agree ())
+           ops)
+
+(* ---- metrics export ---- *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_metrics_exported () =
+  (* the tests above moved the counters; all five families must export *)
+  let text = Metrics.to_prometheus () in
+  List.iter
+    (fun fam ->
+      Alcotest.(check bool) (fam ^ " exported") true (contains text fam))
+    [
+      "rdfqa_views_hits_total";
+      "rdfqa_views_misses_total";
+      "rdfqa_views_rematerializations_total";
+      "rdfqa_views_count";
+      "rdfqa_views_bytes";
+    ]
+
+let () =
+  Alcotest.run "views"
+    [
+      ( "bit-identity",
+        [
+          Alcotest.test_case "profiles × jobs" `Quick
+            test_differential_profiles_jobs;
+        ] );
+      ( "selection",
+        [
+          Alcotest.test_case "budget 0" `Quick test_budget_zero_selects_nothing;
+          Alcotest.test_case "deterministic" `Quick
+            test_selection_deterministic;
+        ] );
+      ( "maintenance",
+        [
+          Alcotest.test_case "incremental footprint" `Quick
+            test_incremental_footprint;
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_mutation_interleaving ] );
+      ( "metrics",
+        [ Alcotest.test_case "families exported" `Quick test_metrics_exported ]
+      );
+    ]

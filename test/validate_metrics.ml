@@ -4,8 +4,13 @@
 
      validate_metrics.exe FILE
 
+     validate_metrics.exe [--require NAME,NAME,...] FILE
+
    FILE ending in .jsonl is checked as a JSONL registry snapshot; anything
-   else is checked as Prometheus text exposition format.  Exits 0 with a
+   else is checked as Prometheus text exposition format.  [--require]
+   additionally asserts each named metric family is present in the export
+   (exact sample/TYPE name, e.g. rdfqa_views_hits_total) — the CLI tests
+   use it to pin the families a subsystem must publish.  Exits 0 with a
    summary when the file conforms, 1 with the first offending line
    otherwise.  Like validate_trace.ml, the JSON reader below is a small
    hand-written parser: the repo carries no JSON dependency. *)
@@ -180,7 +185,7 @@ let nonneg_int fields k =
 
 (* ---- JSONL snapshot schema (lib/metrics/metrics.mli) ---- *)
 
-let check_jsonl_line ~first line =
+let check_jsonl_line ~first ~names line =
   let fields =
     match parse line with
     | Obj fields -> fields
@@ -195,13 +200,13 @@ let check_jsonl_line ~first line =
       if str fields "generator" <> "rdfqa-metrics" then
         raise (Bad "unknown generator")
   | "counter" ->
-      ignore (str fields "name");
+      Hashtbl.replace names (str fields "name") ();
       ignore (nonneg_int fields "value")
   | "gauge" ->
-      ignore (str fields "name");
+      Hashtbl.replace names (str fields "name") ();
       ignore (num fields "value")
   | "histogram" ->
-      ignore (str fields "name");
+      Hashtbl.replace names (str fields "name") ();
       let count = nonneg_int fields "count" in
       ignore (num fields "sum");
       let p50 = num fields "p50"
@@ -236,16 +241,27 @@ let check_jsonl_line ~first line =
         raise (Bad "cumulative bucket count exceeds histogram count")
   | other -> raise (Bad (Printf.sprintf "unknown line type %S" other))
 
-let check_jsonl path =
+(* Fails unless every required family name is a key of [names]. *)
+let check_required path ~require names =
+  List.iter
+    (fun fam ->
+      if not (Hashtbl.mem names fam) then begin
+        Printf.eprintf "%s: required metric family %s is absent\n" path fam;
+        exit 1
+      end)
+    require
+
+let check_jsonl ~require path =
   let ic = open_in path in
   let lineno = ref 0 in
+  let names : (string, unit) Hashtbl.t = Hashtbl.create 64 in
   (try
      let first = ref true in
      while true do
        let line = input_line ic in
        incr lineno;
        if String.trim line <> "" then begin
-         check_jsonl_line ~first:!first line;
+         check_jsonl_line ~first:!first ~names line;
          first := false
        end
      done
@@ -259,6 +275,7 @@ let check_jsonl path =
     Printf.eprintf "%s: empty snapshot\n" path;
     exit 1
   end;
+  check_required path ~require names;
   Printf.printf "%s: %d lines ok\n" path !lineno
 
 (* ---- Prometheus text exposition format ---- *)
@@ -291,7 +308,7 @@ let base_of types name =
         | _ -> None)
       [ "_bucket"; "_sum"; "_count" ]
 
-let check_prometheus path =
+let check_prometheus ~require path =
   let ic = open_in path in
   let types : (string, string) Hashtbl.t = Hashtbl.create 64 in
   (* histogram base -> (le, cumulative count) list in file order *)
@@ -446,14 +463,22 @@ let check_prometheus path =
     Printf.eprintf "%s: no samples\n" path;
     exit 1
   end;
+  check_required path ~require types;
   Printf.printf "%s: %d samples, %d series ok\n" path !samples
     (Hashtbl.length types)
 
 let () =
-  if Array.length Sys.argv <> 2 then begin
-    prerr_endline "usage: validate_metrics.exe FILE[.jsonl|.prom]";
+  let usage () =
+    prerr_endline
+      "usage: validate_metrics.exe [--require NAME,NAME,...] FILE[.jsonl|.prom]";
     exit 2
-  end;
-  let path = Sys.argv.(1) in
-  if Filename.check_suffix path ".jsonl" then check_jsonl path
-  else check_prometheus path
+  in
+  let require, path =
+    match Array.to_list Sys.argv with
+    | [ _; path ] -> ([], path)
+    | [ _; "--require"; names; path ] ->
+        (List.filter (fun s -> s <> "") (String.split_on_char ',' names), path)
+    | _ -> usage ()
+  in
+  if Filename.check_suffix path ".jsonl" then check_jsonl ~require path
+  else check_prometheus ~require path
