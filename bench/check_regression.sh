@@ -198,7 +198,30 @@ if [ -f "$HISTORY" ] && [ -s "$HISTORY" ]; then
       (if $r > $thr then "DRIFT" else "ok" end)
   ' "$CURRENT")
 
-  all_rows=$(printf '%s\n%s\n%s\n' "$drift_rows" "$lat_rows" "$view_drift_rows" | sed '/^$/d')
+  # Serve drift is warn-only in both directions of badness: sustained qps
+  # falling below the history median (ratio = median/current, so "slower"
+  # still reads as > 1) and client-observed p99 rising above it.
+  serve_rows=$(jq -r --slurpfile hist "$HISTORY" --argjson thr "$DRIFT_THRESHOLD" '
+    def median: sort | if length == 0 then null else .[(length - 1) / 2 | floor] end;
+    . as $cur
+    | [$hist[] | select(.scale == $cur.scale)] as $h
+    | (($cur.serve // {}) | keys | sort | .[]) as $l
+    | ( ([$h[] | .serve[$l].qps? // empty] | median) as $qmed
+        | ([$h[] | .serve[$l].p99_ms? // empty] | median) as $pmed
+        | [ (if $qmed != null and $qmed > 0 and $cur.serve[$l].qps > 0 then
+               ($qmed / $cur.serve[$l].qps) as $r
+               | "\($l) serve qps|\($cur.serve[$l].qps)|\($qmed)|\($r * 100 | round / 100)x|" +
+                 (if $r > $thr then "DRIFT" else "ok" end)
+             else empty end),
+            (if $pmed != null and $pmed > 0 then
+               ($cur.serve[$l].p99_ms / $pmed) as $r
+               | "\($l) serve p99|\($cur.serve[$l].p99_ms)|\($pmed)|\($r * 100 | round / 100)x|" +
+                 (if $r > $thr then "DRIFT" else "ok" end)
+             else empty end) ]
+        | .[] )
+  ' "$CURRENT")
+
+  all_rows=$(printf '%s\n%s\n%s\n%s\n' "$drift_rows" "$lat_rows" "$view_drift_rows" "$serve_rows" | sed '/^$/d')
   if [ -n "$all_rows" ]; then
     {
       echo ""

@@ -6,7 +6,8 @@
      --experiment LIST            comma-separated ids among
                                   table1,table2,table3,table4,
                                   fig4,fig5,fig6,fig7,fig8,fig9,fig10,
-                                  ablations,minimization,workload
+                                  ablations,minimization,workload,
+                                  cache,admission,latency,views,serve
                                   (default: all)
      --runs N                     timed repetitions per measurement (default 1,
                                   after one warm-up when N > 1)
@@ -49,7 +50,7 @@ type config = {
 let all_experiments =
   [ "table1"; "table2"; "table3"; "table4"; "fig4"; "fig5"; "fig6"; "fig7";
     "fig8"; "fig9"; "fig10"; "ablations"; "minimization"; "workload";
-    "cache"; "admission"; "latency"; "views" ]
+    "cache"; "admission"; "latency"; "views"; "serve" ]
 
 let parse_config () =
   let cfg =
@@ -1063,6 +1064,151 @@ let views_experiment ctx =
     ];
   check ctx.dblp [ ("GCov", Rqa.Answering.Gcov) ]
 
+(* ---------- Serve: sustained throughput against a live server ---------- *)
+
+type serve_run = {
+  sv_label : string;
+  sv_clients : int;
+  sv_requests : int; (* client read requests completed *)
+  sv_errors : int;   (* ERR responses among them (engine-limit refusals) *)
+  sv_writes : int;   (* INSERT/DELETE write sections interleaved *)
+  sv_qps : float;
+  sv_p50_ms : float;
+  sv_p99_ms : float;
+}
+
+(* Filled by [serve_experiment], written by [write_bench_json]. *)
+let serve_runs : serve_run list ref = ref []
+
+let serve_connect port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  (fd, Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+
+let serve_request ic oc line =
+  output_string oc line;
+  output_char oc '\n';
+  flush oc;
+  let status = input_line ic in
+  let rec drain () =
+    if input_line ic <> Server.Protocol.terminator then drain ()
+  in
+  drain ();
+  status
+
+(* An in-process server over a fresh LUBM-S-scale store (fresh so the
+   server-side mutation below never touches the shared datasets):
+   [n_clients] connections each issue a hot/cold query mix — the hot
+   query repeats, the cold ones cycle through the workload — while one
+   writer connection toggles a fact file between INSERT and DELETE.
+   Sustained read throughput and client-observed latency quantiles feed
+   the "serve" section of BENCH_engine.json (and, through it, the
+   perf-history trend page). *)
+let serve_experiment ctx =
+  header "Serve: concurrent clients against a live rdfqa server";
+  let store =
+    Workloads.Lubm.generate
+      { Workloads.Lubm.universities = ctx.cfg.lubm_small }
+  in
+  let queries = List.map snd Workloads.Lubm.queries in
+  let one_line s = String.map (fun c -> if c = '\n' then ' ' else c) s in
+  let texts =
+    Array.of_list (List.map (fun q -> one_line (Query.Sparql.to_sparql q)) queries)
+  in
+  let config =
+    {
+      Server.default_config with
+      strategy = Rqa.Answering.Scq;
+      warm = queries;
+    }
+  in
+  let srv = Server.start config store in
+  let port = Server.port srv in
+  let n_clients = 4 in
+  let per_client =
+    match ctx.cfg.scale with "quick" -> 60 | "full" -> 600 | _ -> 200
+  in
+  let lat = Array.init n_clients (fun _ -> Array.make per_client 0.0) in
+  let errors = Array.make n_clients 0 in
+  let reader k =
+    let fd, ic, oc = serve_connect port in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        for i = 0 to per_client - 1 do
+          (* two hot requests for every cold one: a serving cache mix *)
+          let text =
+            if i mod 3 < 2 then texts.(0)
+            else texts.((i / 3) mod Array.length texts)
+          in
+          let t0 = now_ms () in
+          let status = serve_request ic oc ("QUERY " ^ text) in
+          lat.(k).(i) <- now_ms () -. t0;
+          if String.length status >= 3 && String.sub status 0 3 = "ERR" then
+            errors.(k) <- errors.(k) + 1
+        done;
+        ignore (serve_request ic oc "QUIT"))
+  in
+  let writes = ref 0 in
+  let stop_writer = Atomic.make false in
+  let writer () =
+    let file = Filename.temp_file "rdfqa_bench_serve" ".nt" in
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ())
+      (fun () ->
+        let out = open_out file in
+        for i = 0 to 2 do
+          output_string out
+            (Rdf.Ntriples.line_of_triple
+               (Rdf.Triple.make
+                  (Rdf.Term.uri (Printf.sprintf "http://bench.serve/x%d" i))
+                  Rdf.Vocab.rdf_type
+                  (Rdf.Term.uri "http://bench.serve/Extra"))
+            ^ "\n")
+        done;
+        close_out out;
+        let fd, ic, oc = serve_connect port in
+        Fun.protect
+          ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun () ->
+            while not (Atomic.get stop_writer) do
+              ignore (serve_request ic oc ("INSERT " ^ file));
+              ignore (serve_request ic oc ("DELETE " ^ file));
+              writes := !writes + 2;
+              Thread.delay 0.005
+            done;
+            ignore (serve_request ic oc "QUIT")))
+  in
+  let t0 = now_ms () in
+  let wt = Thread.create writer () in
+  let threads = Array.init n_clients (fun k -> Thread.create reader k) in
+  Array.iter Thread.join threads;
+  Atomic.set stop_writer true;
+  Thread.join wt;
+  let wall_ms = now_ms () -. t0 in
+  Server.stop srv;
+  let h = Metrics.Histogram.create () in
+  Array.iter (Array.iter (fun ms -> Metrics.Histogram.observe h ms)) lat;
+  let requests = n_clients * per_client in
+  let r =
+    {
+      sv_label = "LUBM-S";
+      sv_clients = n_clients;
+      sv_requests = requests;
+      sv_errors = Array.fold_left ( + ) 0 errors;
+      sv_writes = !writes;
+      sv_qps = float_of_int requests /. Float.max (wall_ms /. 1000.0) 1e-9;
+      sv_p50_ms = Metrics.Histogram.quantile h 0.50;
+      sv_p99_ms = Metrics.Histogram.quantile h 0.99;
+    }
+  in
+  Printf.printf
+    "%-7s %d clients x %d requests (+%d writes, %d ERR) | %8.1f qps | p50 \
+     %6.2f ms | p99 %6.2f ms\n%!"
+    r.sv_label r.sv_clients per_client r.sv_writes r.sv_errors r.sv_qps
+    r.sv_p50_ms r.sv_p99_ms;
+  serve_runs := !serve_runs @ [ r ]
+
 (* ---------- Bechamel micro-benchmarks ---------- *)
 
 let read_file path =
@@ -1189,6 +1335,22 @@ let write_bench_json ~scale ~jobs ~scaling results =
              r.v_misses
              (if i = m - 1 then "" else ",")))
       !views_runs;
+    Buffer.add_string buf "  }"
+  end;
+  if !serve_runs <> [] then begin
+    Buffer.add_string buf ",\n  \"serve\": {\n";
+    let m = List.length !serve_runs in
+    List.iteri
+      (fun i r ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "    %S: {\"clients\": %d, \"requests\": %d, \"errors\": %d, \
+              \"writes\": %d, \"qps\": %.1f, \"p50_ms\": %.3f, \"p99_ms\": \
+              %.3f}%s\n"
+             r.sv_label r.sv_clients r.sv_requests r.sv_errors r.sv_writes
+             r.sv_qps r.sv_p50_ms r.sv_p99_ms
+             (if i = m - 1 then "" else ",")))
+      !serve_runs;
     Buffer.add_string buf "  }"
   end;
   (let gc = Gc.quick_stat () in
@@ -1401,6 +1563,7 @@ let () =
   run "admission" admission_experiment;
   run "latency" latency_experiment;
   run "views" views_experiment;
+  run "serve" serve_experiment;
   (match bechamel_measured with
   | Some (results, scaling) ->
       write_bench_json ~scale:cfg.scale ~jobs:cfg.jobs ~scaling results

@@ -1331,6 +1331,280 @@ let views_cmd =
     Term.(
       const run $ workload $ data $ view_budget $ engine_arg $ jobs_arg)
 
+(* ---------- serve / client ---------- *)
+
+let serve_cmd =
+  let workload =
+    Arg.(
+      value
+      & opt (enum [ ("lubm", `Lubm); ("dblp", `Dblp) ]) `Lubm
+      & info [ "w"; "workload" ] ~docv:"WORKLOAD"
+          ~doc:
+            "Workload whose schema and evaluation queries warm the server \
+             (constants pre-interned, tier-1 reformulations filled).")
+  in
+  let data =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "d"; "data" ] ~docv:"FILE"
+          ~doc:
+            "Data file to serve (default: the same in-process dataset the \
+             CI trace leg generates for the workload).")
+  in
+  let port =
+    Arg.(
+      value & opt int 0
+      & info [ "port" ] ~docv:"PORT"
+          ~doc:"TCP port to listen on; 0 (the default) binds an ephemeral \
+                port.")
+  in
+  let host =
+    Arg.(
+      value
+      & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"ADDR" ~doc:"Bind address.")
+  in
+  let port_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "port-file" ] ~docv:"FILE"
+          ~doc:
+            "Write the bound port to FILE once listening, so scripted \
+             clients can find an ephemeral port.")
+  in
+  let budget =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "budget" ] ~docv:"OPS"
+          ~doc:
+            "Per-request static cost admission budget: a query whose \
+             SCQ-cover plan provably exceeds OPS operations is refused \
+             with ERR before execution.")
+  in
+  let run wl data strategy profile cache_mode port host port_file budget jobs
+      =
+    Metrics.install_gc_samplers ();
+    Metrics.set_enabled true;
+    apply_jobs jobs;
+    ignore (Par.get ());
+    let store =
+      match (data, wl) with
+      | Some path, `Lubm -> load_store ~schema:Workloads.Lubm.schema path
+      | Some path, `Dblp -> load_store ~schema:Workloads.Dblp.schema path
+      | None, `Lubm ->
+          Workloads.Lubm.generate { Workloads.Lubm.universities = 1 }
+      | None, `Dblp ->
+          Workloads.Dblp.generate { Workloads.Dblp.publications = 2000 }
+    in
+    let warm =
+      match wl with
+      | `Lubm -> List.map snd Workloads.Lubm.queries
+      | `Dblp -> List.map snd Workloads.Dblp.queries
+    in
+    let config =
+      {
+        Server.host;
+        port;
+        strategy = to_strategy strategy;
+        profile;
+        cache_mode;
+        budget;
+        warm;
+      }
+    in
+    let srv =
+      try Server.start config store
+      with Unix.Unix_error (e, _, _) ->
+        Printf.eprintf "cannot listen on %s:%d: %s\n" host port
+          (Unix.error_message e);
+        exit 2
+    in
+    (match port_file with
+    | Some f ->
+        let oc = open_out f in
+        output_string oc (string_of_int (Server.port srv));
+        output_char oc '\n';
+        close_out oc
+    | None -> ());
+    Printf.printf
+      "-- serving %d triples on %s:%d (%s, %s, jobs %d%s); SIGTERM drains\n%!"
+      (Store.Encoded_store.size store)
+      host (Server.port srv)
+      (Rqa.Answering.strategy_name (to_strategy strategy))
+      profile.Engine.Profile.name (Par.effective_jobs ())
+      (match budget with
+      | Some b -> Printf.sprintf ", budget %d" b
+      | None -> "");
+    let on_signal = Sys.Signal_handle (fun _ -> Server.request_stop srv) in
+    Sys.set_signal Sys.sigterm on_signal;
+    Sys.set_signal Sys.sigint on_signal;
+    Server.wait srv;
+    Server.stop srv;
+    (* join the worker domains before exiting: "no leaked domains" *)
+    Par.shutdown_global ();
+    let ep = Server.epoch srv in
+    Printf.printf
+      "-- drained: %d requests, epoch %d, %d reads, %d writes, %d deferred \
+       thunks run; pool joined\n%!"
+      (Server.requests_served srv)
+      (Store.Epoch.epoch ep) (Store.Epoch.reads ep) (Store.Epoch.writes ep)
+      (Store.Epoch.deferred_run ep)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve a store over the line protocol on TCP: concurrent QUERY \
+          requests pin epoch-based snapshots, INSERT/DELETE serialize \
+          through the epoch writer path, and answers are bit-identical to \
+          single-shot $(b,rdfqa query) runs.  Drains gracefully on \
+          SIGTERM/SIGINT and exits 0.")
+    Term.(
+      const run $ workload $ data $ strategy_arg $ engine_arg
+      $ cache_mode_arg $ port $ host $ port_file $ budget $ jobs_arg)
+
+let client_cmd =
+  let host =
+    Arg.(
+      value
+      & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"ADDR" ~doc:"Server address.")
+  in
+  let port =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "port" ] ~docv:"PORT" ~doc:"Server port.")
+  in
+  let port_file =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "port-file" ] ~docv:"FILE"
+          ~doc:
+            "Read the server port from FILE (as written by $(b,rdfqa \
+             serve --port-file)).")
+  in
+  let requests =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"REQUEST"
+          ~doc:
+            "Protocol request lines, sent in order over one connection: \
+             e.g. 'QUERY SELECT ...', 'INSERT file.nt', 'STATS', 'PROM'.")
+  in
+  let workload_queries =
+    Arg.(
+      value & opt_all string []
+      & info [ "workload-query" ] ~docv:"NAME"
+          ~doc:
+            "Append a $(b,QUERY) request for a built-in evaluation query \
+             (e.g. lubm:Q01); repeatable.  The exact text the single-shot \
+             commands resolve is sent, so stdout diffs cleanly against \
+             $(b,rdfqa query --workload-query).")
+  in
+  let query_strategy =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "query-strategy" ] ~docv:"STRATEGY"
+          ~doc:
+            "Send $(b,--workload-query) requests as \
+             QUERY/$(docv) per-request overrides instead of the server's \
+             default strategy.")
+  in
+  let run host port port_file requests workload_queries query_strategy =
+    let expand name =
+      match resolve_query (Some name) None None with
+      | Ok (q, _) ->
+          let text =
+            String.map
+              (fun c -> if c = '\n' then ' ' else c)
+              (Query.Sparql.to_sparql q)
+          in
+          let verb =
+            match query_strategy with
+            | None -> "QUERY"
+            | Some s -> "QUERY/" ^ s
+          in
+          verb ^ " " ^ text
+      | Error msg ->
+          prerr_endline msg;
+          exit 2
+    in
+    let requests = requests @ List.map expand workload_queries in
+    let port =
+      match (port, port_file) with
+      | Some p, _ -> p
+      | None, Some f -> (
+          match int_of_string_opt (String.trim (read_file f)) with
+          | Some p -> p
+          | None ->
+              Printf.eprintf "bad port file %s\n" f;
+              exit 2)
+      | None, None ->
+          prerr_endline "one of --port, --port-file required";
+          exit 2
+    in
+    if requests = [] then begin
+      prerr_endline "no requests given";
+      exit 2
+    end;
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    (try
+       Unix.connect fd
+         (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+     with Unix.Unix_error (e, _, _) ->
+       Printf.eprintf "cannot connect to %s:%d: %s\n" host port
+         (Unix.error_message e);
+       exit 2);
+    let ic = Unix.in_channel_of_descr fd in
+    let oc = Unix.out_channel_of_descr fd in
+    let failed = ref false in
+    (* statuses go to stderr, payload (answer rows, stats, prometheus
+       text) to stdout — so stdout diffs cleanly against `rdfqa query` *)
+    List.iter
+      (fun req ->
+        output_string oc req;
+        output_char oc '\n';
+        flush oc;
+        match input_line ic with
+        | exception End_of_file ->
+            prerr_endline "server closed the connection";
+            failed := true
+        | status ->
+            prerr_endline status;
+            if String.length status >= 3 && String.sub status 0 3 = "ERR"
+            then failed := true;
+            let rec payload () =
+              match input_line ic with
+              | exception End_of_file -> failed := true
+              | line when line = Server.Protocol.terminator -> ()
+              | line ->
+                  print_endline (Server.Protocol.unstuff line);
+                  payload ()
+            in
+            payload ())
+      requests;
+    (try
+       output_string oc "QUIT\n";
+       flush oc
+     with Sys_error _ -> ());
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    exit (if !failed then 1 else 0)
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Send protocol request lines to a running $(b,rdfqa serve) and \
+          print the responses: payload rows on stdout, status lines on \
+          stderr.  Exits 1 if any request was answered with ERR.")
+    Term.(
+      const run $ host $ port $ port_file $ requests $ workload_queries
+      $ query_strategy)
+
 let () =
   let info =
     Cmd.info "rdfqa" ~version:"1.0"
@@ -1342,5 +1616,6 @@ let () =
        (Cmd.group info
           [
             generate_cmd; query_cmd; reformulate_cmd; explain_cmd; sql_cmd;
-            check_cmd; trace_cmd; stats_cmd; views_cmd;
+            check_cmd; trace_cmd; stats_cmd; views_cmd; serve_cmd;
+            client_cmd;
           ]))

@@ -137,6 +137,33 @@ let enable_views s =
       s.views <- Some v;
       v
 
+(* Interns every constant compilation could encode on demand for the given
+   workload: the queries' own constants, the schema vocabulary the
+   reformulator can splice into disjunct bodies/heads, and [rdf:type].
+   Interning is idempotent and answer-neutral (see
+   [Executor.intern_constants]); after a warm-up, repeated-query operation
+   totals over the shared store are stable from the first request. *)
+let warm_up s queries =
+  let store = Engine.Executor.store s.engine in
+  let dict = Es.dictionary store in
+  let schema = Es.schema store in
+  let intern_term c = ignore (Rdf.Dictionary.encode dict c) in
+  intern_term Rdf.Vocab.rdf_type;
+  Rdf.Term.Set.iter intern_term (Rdf.Schema.classes schema);
+  Rdf.Term.Set.iter intern_term (Rdf.Schema.properties schema);
+  List.iter
+    (fun q ->
+      let q = Bgp.normalize q in
+      Engine.Executor.intern_constants s.engine q;
+      (* Also warms cache tier 1 for the query's whole-body fragment. *)
+      match Cache.reformulate s.cache q with
+      | ucq ->
+          List.iter
+            (Engine.Executor.intern_constants s.engine)
+            (Ucq.disjuncts ucq)
+      | exception Reformulation.Reformulate.Too_large _ -> ())
+    queries
+
 let disable_views s = s.views <- None
 let reformulator s = Cache.reformulator s.cache
 let cost_model s = s.cost

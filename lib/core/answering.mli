@@ -83,6 +83,16 @@ val enable_views : system -> Cache.Views.t
 val disable_views : system -> unit
 (** Detaches the view tier: subsequent answers evaluate every fragment. *)
 
+val warm_up : system -> Query.Bgp.t list -> unit
+(** Pre-interns everything compilation could dictionary-encode on demand
+    for a workload: each query's constants, every constant of its tier-1
+    reformulation (warming that cache tier as a side effect), the schema's
+    classes and properties, and [rdf:type].  Idempotent and
+    answer-neutral; afterwards repeated-query operation totals over the
+    shared store are stable from the first request (the ±2-op first-query
+    drift).  Queries whose reformulation exceeds the product bound are
+    warmed for their own constants only. *)
+
 val reformulator : system -> Reformulation.Reformulate.t
 (** The current schema generation's CQ→UCQ reformulation engine
     ({!Cache.reformulator}).  Do not retain across schema updates. *)

@@ -244,6 +244,25 @@ let compile t (q : Bgp.t) : ecq =
     labels = Array.of_list (List.map atom_label q.body);
   }
 
+(* Interning is idempotent and append-only: terms already in the data keep
+   their codes, absent ones get fresh codes that match no triple — answers
+   are unaffected, but compilation stops depending on which query ran
+   first (an absent body constant now compiles to an empty selection
+   instead of [Unsatisfiable], the same charges every run). *)
+let intern_constants t (q : Bgp.t) =
+  let dict = Es.dictionary t.store in
+  let intern = function
+    | Bgp.Var _ -> ()
+    | Bgp.Const c -> ignore (Rdf.Dictionary.encode dict c)
+  in
+  List.iter intern q.head;
+  List.iter
+    (fun (a : Bgp.atom) ->
+      intern a.s;
+      intern a.p;
+      intern a.o)
+    q.body
+
 (* ---- atom ordering (greedy selectivity) ---- *)
 
 (* The access-path code of a slot under the current bindings: a constant's

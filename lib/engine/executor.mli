@@ -69,6 +69,15 @@ val admit :
     provably fails — before any operation is charged.  No-op when
     disabled.  Called by {!eval_cq}/{!eval_ucq}/{!eval_jucq}. *)
 
+val intern_constants : t -> Query.Bgp.t -> unit
+(** Interns every constant of the query (head {e and} body) into the
+    store's dictionary.  Idempotent and charge-free; data terms keep their
+    codes and absent terms get fresh codes that match no triple, so
+    answers never change — but operation totals stop depending on which
+    query against a shared store ran first (an absent body constant
+    compiles to an empty selection instead of an unsatisfiable plan).
+    Server warm-up calls this for every workload query. *)
+
 val eval_cq : t -> Query.Bgp.t -> Relation.t
 (** Evaluates one CQ (no reasoning): one row per answer, one column per
     head position, values as dictionary codes.  Set semantics. *)

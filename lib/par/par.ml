@@ -243,3 +243,10 @@ let get () =
   Metrics.set_gauge g_width (float_of_int pool.width);
   Metrics.set_gauge g_requested (float_of_int pool.requested);
   pool
+
+let shutdown_global () =
+  Mutex.lock glock;
+  let p = !global in
+  global := None;
+  Mutex.unlock glock;
+  match p with Some p -> shutdown p | None -> ()

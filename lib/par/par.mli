@@ -100,3 +100,8 @@ val effective_jobs : unit -> int
 val get : unit -> t
 (** The process-global pool at the current width, (re)created on demand.
     Safe to call from any domain. *)
+
+val shutdown_global : unit -> unit
+(** Joins and drops the process-global pool, if one exists.  The next
+    {!get} recreates it, so this is a drain point (server shutdown, "no
+    leaked domains" assertions), not a terminal state.  Idempotent. *)

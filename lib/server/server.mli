@@ -1,0 +1,81 @@
+(** The `rdfqa serve` endpoint: a long-lived concurrent query server.
+
+    One process serves many simultaneous clients over the {!Protocol} line
+    protocol on a TCP socket — a thread per connection, each with its own
+    {!Rqa.Answering.system} (private engine, so per-request charge
+    counters never race) sharing one store and one cache.  Reads and
+    writes coordinate through {!Store.Epoch}: every [QUERY] runs inside a
+    read section pinning the store's epoch (the
+    [schema_version]/[data_version] pair cannot move under it), every
+    [INSERT]/[DELETE] runs inside a write section that drains pinned
+    readers first and re-warms the interned vocabulary when the schema
+    moved.  Parallel UCQ/JUCQ evaluation dispatches onto the process-global
+    {!Par} pool exactly as the single-shot CLI does, so answers stay
+    bit-identical to `rdfqa query` for any interleaving — the determinism
+    contract under real traffic.
+
+    Cost admission: with [budget] set, each query's SCQ-cover JUCQ is
+    checked by {!Analysis.Cost_verify.admission} before execution and
+    provably-doomed statements are refused with [ERR] (the global
+    [RDFQA_VERIFY_COST] switch stays off, so cover choice is untouched).
+
+    The [server.*] metric families (connections, requests, errors,
+    rejected, writes, inflight, epoch) register at module initialization:
+    any binary linking this module exports them — zero-valued when idle —
+    through the usual [lib/metrics] Prometheus path. *)
+
+module Protocol : module type of Protocol
+(** The wire protocol, re-exported: [server.ml] names the library, so
+    this is the only path clients and tests reach {!Protocol} through. *)
+
+type config = {
+  host : string;            (** bind address, e.g. ["127.0.0.1"] *)
+  port : int;               (** TCP port; [0] binds an ephemeral port *)
+  strategy : Rqa.Answering.strategy;  (** default answering strategy *)
+  profile : Engine.Profile.t;
+  cache_mode : Cache.mode option;     (** [None] keeps the cache default *)
+  budget : int option;      (** per-request cost admission budget *)
+  warm : Query.Bgp.t list;  (** workload queries to pre-intern at boot *)
+}
+
+val default_config : config
+(** Loopback, ephemeral port, GCov, postgres-like profile, no budget, no
+    warm-up queries. *)
+
+val strategy_of_string : string -> Rqa.Answering.strategy option
+(** ["saturation" | "ucq" | "scq" | "ecov" | "gcov"], as the protocol's
+    [QUERY/<strategy>] override spells them. *)
+
+type t
+
+val start : config -> Store.Encoded_store.t -> t
+(** Binds and listens, pre-interns [config.warm] plus the schema
+    vocabulary ({!Rqa.Answering.warm_up} — repeated-query operation totals
+    are stable from the first request), and spawns the accept loop on a
+    background thread.  Raises [Unix.Unix_error] when the address is
+    unavailable. *)
+
+val port : t -> int
+(** The bound port (the ephemeral one when [config.port = 0]). *)
+
+val epoch : t -> Store.Epoch.t
+(** The server's epoch coordinator (stats, tests). *)
+
+val requests_served : t -> int
+(** Total requests answered (OK and ERR) since {!start}. *)
+
+val request_stop : t -> unit
+(** Asynchronously initiates shutdown: stops accepting and wakes the
+    accept loop.  Safe to call from a signal handler; in-flight requests
+    keep running until {!stop} drains them. *)
+
+val wait : t -> unit
+(** Blocks until the accept loop has exited (i.e. until {!request_stop} /
+    {!stop} was called). *)
+
+val stop : t -> unit
+(** Graceful drain: {!request_stop}, then half-closes every client
+    connection (pending requests complete and their responses are
+    delivered; idle connections see EOF) and joins every connection
+    thread.  Idempotent.  The caller owns the process-global {!Par} pool
+    ([Par.shutdown_global] if no further work follows). *)

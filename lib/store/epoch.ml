@@ -1,0 +1,110 @@
+(* Writer-preference drain coordination.  The store mutates in place, so
+   snapshot isolation here means: no mutation while any reader is pinned.
+   Readers admit under [no writer active or waiting]; a writer first wins
+   the writer baton, then waits for the pinned epoch to drain (active = 0),
+   mutates, bumps the epoch, flushes deferred reclamation, and releases.
+   All state sits behind one mutex; the two condition variables separate
+   "a writer finished" (wakes readers and the next writer) from "the last
+   reader left" (wakes the draining writer). *)
+
+type t = {
+  m : Mutex.t;
+  turn : Condition.t;     (* writer released: readers / next writer go *)
+  drained : Condition.t;  (* last pinned reader left *)
+  mutable cur_epoch : int;
+  mutable active : int;         (* readers inside a section *)
+  mutable writer_active : bool;
+  mutable writers_queued : int; (* writers admitted or waiting *)
+  mutable deferred : (unit -> unit) list; (* newest first *)
+  mutable n_reads : int;
+  mutable n_writes : int;
+  mutable n_deferred_run : int;
+}
+
+let create () =
+  {
+    m = Mutex.create ();
+    turn = Condition.create ();
+    drained = Condition.create ();
+    cur_epoch = 0;
+    active = 0;
+    writer_active = false;
+    writers_queued = 0;
+    deferred = [];
+    n_reads = 0;
+    n_writes = 0;
+    n_deferred_run = 0;
+  }
+
+let with_lock t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let epoch t = with_lock t (fun () -> t.cur_epoch)
+let active_readers t = with_lock t (fun () -> t.active)
+let waiting_writers t =
+  with_lock t (fun () -> t.writers_queued + if t.writer_active then 1 else 0)
+let reads t = with_lock t (fun () -> t.n_reads)
+let writes t = with_lock t (fun () -> t.n_writes)
+let deferred_pending t = with_lock t (fun () -> List.length t.deferred)
+let deferred_run t = with_lock t (fun () -> t.n_deferred_run)
+
+let defer t thunk = with_lock t (fun () -> t.deferred <- thunk :: t.deferred)
+
+let read t f =
+  Mutex.lock t.m;
+  while t.writer_active || t.writers_queued > 0 do
+    Condition.wait t.turn t.m
+  done;
+  t.active <- t.active + 1;
+  let pinned = t.cur_epoch in
+  Mutex.unlock t.m;
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.lock t.m;
+      t.active <- t.active - 1;
+      t.n_reads <- t.n_reads + 1;
+      if t.active = 0 then Condition.broadcast t.drained;
+      Mutex.unlock t.m)
+    (fun () -> f pinned)
+
+let write t f =
+  Mutex.lock t.m;
+  t.writers_queued <- t.writers_queued + 1;
+  while t.writer_active do
+    Condition.wait t.turn t.m
+  done;
+  t.writers_queued <- t.writers_queued - 1;
+  t.writer_active <- true;
+  while t.active > 0 do
+    Condition.wait t.drained t.m
+  done;
+  Mutex.unlock t.m;
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.lock t.m;
+      t.cur_epoch <- t.cur_epoch + 1;
+      t.n_writes <- t.n_writes + 1;
+      let thunks = List.rev t.deferred in
+      t.deferred <- [];
+      Mutex.unlock t.m;
+      (* Reclamation runs after the bump but before release: the epoch the
+         thunks clean up after has provably drained (writer_active still
+         excludes readers).  The mutex is NOT held, so a thunk may call
+         back into the coordinator's accessors — or defer again, queueing
+         for the next write. *)
+      let run = ref 0 in
+      Fun.protect
+        ~finally:(fun () ->
+          Mutex.lock t.m;
+          t.n_deferred_run <- t.n_deferred_run + !run;
+          t.writer_active <- false;
+          Condition.broadcast t.turn;
+          Mutex.unlock t.m)
+        (fun () ->
+          List.iter
+            (fun thunk ->
+              thunk ();
+              incr run)
+            thunks))
+    f

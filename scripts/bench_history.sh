@@ -12,6 +12,7 @@
 #    "latency":  {label: {answers, p50_ms, p90_ms, p99_ms, max_ms,
 #                         store_bytes}},
 #    "views":    {label: {noviews_ms, views_ms, speedup, materialize_ms}},
+#    "serve":    {label: {clients, requests, writes, qps, p50_ms, p99_ms}},
 #    "gc":       {minor_collections, major_collections, heap_words}}
 # scripts/gen_trend.sh turns the log into the static trend page, and
 # bench/check_regression.sh warns when the current run drifts past the
@@ -51,6 +52,9 @@ jq -c --arg commit "$commit" --arg date "$date" '
     views: ((.views // {})
             | with_entries(.value |= {noviews_ms, views_ms, speedup,
                                       materialize_ms})),
+    serve: ((.serve // {})
+            | with_entries(.value |= {clients, requests, writes, qps,
+                                      p50_ms, p99_ms})),
     gc: (.gc // {})
   }' "$CURRENT" >> "$HISTORY"
 

@@ -6,9 +6,9 @@
 # The page embeds the whole history as a JSON array and draws inline SVG
 # line charts client-side — no external assets, no network, so it works
 # as a plain CI artifact opened from disk.  Charts: ns_seq per benchmark,
-# latency quantiles per workload, cache warm speedup, admission safe
-# fraction and GC/heap counters, each over run order (x = run index,
-# labelled by commit).
+# latency quantiles per workload, serve qps/p99 against the live server,
+# cache warm speedup, admission safe fraction and GC/heap counters, each
+# over run order (x = run index, labelled by commit).
 set -euo pipefail
 
 HISTORY=${1:-bench/history.jsonl}
@@ -133,6 +133,11 @@ section("Latency quantiles (end-to-end answer ms)", keysOf("latency").flatMap(l 
 
 section("Cache warm speedup (cold_ms / warm_ms)", keysOf("cache").map(l =>
   chart(l, "x", series(r => r.cache && r.cache[l] && r.cache[l].warm_speedup))));
+
+section("Serve (sustained qps and client p99 against the live server)", keysOf("serve").flatMap(l => [
+  chart(l + " qps", "qps", series(r => r.serve && r.serve[l] && r.serve[l].qps)),
+  chart(l + " p99", "ms", series(r => r.serve && r.serve[l] && r.serve[l].p99_ms)),
+]));
 
 section("Admission: provably-safe fraction", keysOf("admission").map(l =>
   chart(l, "", series(r => {
